@@ -1,0 +1,61 @@
+"""Ablation — token-buffer size vs. elevator cascading (Sec. 4.3, Fig. 10a).
+
+Sweeps the token-buffer size for a long-distance ``fromThreadOrConst``
+(ΔTID = 48) and reports how many cascaded elevator nodes the compiler
+inserts and the resulting execution time.  Larger buffers need fewer
+cascaded nodes, at the cost of larger matching structures.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.compiler.pipeline import compile_kernel
+from repro.config.system import SystemConfig, TokenBufferConfig
+from repro.graph.opcodes import Opcode
+from repro.kernel.builder import KernelBuilder
+from repro.sim.cycle import run_cycle_accurate
+from repro.sim.launch import KernelLaunch
+
+_DISTANCE = 48
+_THREADS = 128
+
+
+def _long_distance_kernel():
+    builder = KernelBuilder("long_shift", _THREADS)
+    builder.global_array("in_data", _THREADS)
+    builder.global_array("out", _THREADS)
+    tid = builder.thread_idx_x()
+    value = builder.load("in_data", tid)
+    builder.tag_value("v", value)
+    remote = builder.from_thread_or_const("v", -_DISTANCE, 0.0)
+    builder.store("out", tid, remote + value)
+    return builder.finish()
+
+
+def _sweep():
+    rows = []
+    data = np.arange(float(_THREADS))
+    for entries in (4, 8, 16, 32, 64):
+        config = SystemConfig(token_buffer=TokenBufferConfig(entries=entries)).validate()
+        graph = _long_distance_kernel()
+        compiled = compile_kernel(graph, config)
+        elevators = len(compiled.elevator_nodes())
+        launch = KernelLaunch(graph, {"in_data": data})
+        result = run_cycle_accurate(compiled, launch)
+        rows.append((entries, elevators, result.cycles))
+    return rows
+
+
+def test_ablation_token_buffer_size(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print("\ntoken-buffer entries | cascaded elevator nodes | cycles")
+    for entries, elevators, cycles in rows:
+        print(f"{entries:>20} | {elevators:>23} | {cycles:>6}")
+    by_entries = {entries: elevators for entries, elevators, _ in rows}
+    # Fig. 10a arithmetic: ceil(48 / buffer) elevator nodes.
+    assert by_entries[16] == 3
+    assert by_entries[64] == 1
+    # Fewer buffer entries never need fewer elevator nodes.
+    elevator_counts = [e for _, e, _ in rows]
+    assert elevator_counts == sorted(elevator_counts, reverse=True)

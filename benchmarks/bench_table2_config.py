@@ -1,0 +1,14 @@
+"""Table 2 — dMT-CGRA system configuration dump."""
+
+from repro.harness.figures import table2
+
+
+def test_table2_configuration(benchmark):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    print("\n" + result.text)
+    grid = result.data["grid"]
+    assert grid["num_alu"] == 32 and grid["num_fpu"] == 32
+    assert grid["num_ldst"] == 32 and grid["num_special"] == 12
+    assert grid["num_control"] == 16 and grid["num_split_join"] == 16
+    assert result.data["token_buffer"]["entries"] == 16
+    assert result.data["core_clock_ghz"] == 1.4

@@ -1,0 +1,15 @@
+"""Table 3 — benchmark suite inventory."""
+
+from repro.harness.figures import table3
+
+
+def test_table3_workload_inventory(benchmark):
+    result = benchmark.pedantic(table3, rounds=1, iterations=1)
+    print("\n" + result.text)
+    rows = result.data
+    assert len(rows) == 9
+    applications = {row["application"] for row in rows}
+    assert applications == {
+        "scan", "matrixMul", "convolution", "reduce", "lud",
+        "srad", "bpnn", "hotspot", "pathfinder",
+    }

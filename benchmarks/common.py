@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+The full-suite comparison (9 kernels x 3 architectures) is computed once
+per pytest session and reused by the Figure 11 and Figure 12 benches.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.analysis.comparison import ComparisonTable
+from repro.harness.experiments import run_suite
+from repro.harness.figures import BENCHMARK_SUITE_PARAMS
+
+
+@lru_cache(maxsize=1)
+def cached_suite() -> ComparisonTable:
+    """Run the Table 3 suite on all three architectures once and cache it."""
+    return run_suite(params=BENCHMARK_SUITE_PARAMS)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that editable installs also work on environments whose setuptools/pip are
+too old for PEP 660 editable wheels (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""dMT-CGRA reproduction library.
+
+A full-system Python reproduction of Voitsechov & Etsion, *Inter-thread
+Communication in Multithreaded, Reconfigurable Coarse-grain Arrays*
+(MICRO 2018): the programming-model extensions (``fromThreadOrConst``,
+``tagValue``, ``fromThreadOrMem``), the compiler that lowers them to
+elevator / eLDST nodes, cycle-level simulators for the MT-CGRA and
+dMT-CGRA cores, a Fermi-like SIMT baseline, a GPUWattch-style energy
+model, the Table 3 workloads in all three variants and the harness that
+regenerates every table and figure of the paper's evaluation.
+
+Typical use::
+
+    from repro import KernelBuilder, compile_kernel, KernelLaunch, run_cycle_accurate
+
+    builder = KernelBuilder("scan", 256)
+    ...
+    compiled = compile_kernel(builder.finish())
+    result = run_cycle_accurate(compiled, KernelLaunch(compiled.graph, inputs))
+"""
+
+from repro.compiler import CompiledKernel, CompilerOptions, compile_kernel
+from repro.config import SystemConfig, default_system_config
+from repro.errors import (
+    CompilationError,
+    ConfigurationError,
+    DeadlockError,
+    GraphError,
+    GraphValidationError,
+    KernelBuildError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.graph import DataflowGraph, DType, Opcode, UnitClass
+from repro.harness import compare_architectures, run_suite, run_workload
+from repro.kernel import KernelBuilder, ThreadGeometry
+from repro.power import EnergyTable, cgra_energy, default_energy_table, fermi_energy
+from repro.sim import (
+    CycleResult,
+    FunctionalResult,
+    KernelLaunch,
+    run_cycle_accurate,
+    run_functional,
+)
+from repro.workloads import all_workloads, get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationError",
+    "CompiledKernel",
+    "CompilerOptions",
+    "ConfigurationError",
+    "CycleResult",
+    "DType",
+    "DataflowGraph",
+    "DeadlockError",
+    "EnergyTable",
+    "FunctionalResult",
+    "GraphError",
+    "GraphValidationError",
+    "KernelBuildError",
+    "KernelBuilder",
+    "KernelLaunch",
+    "Opcode",
+    "ReproError",
+    "SimulationError",
+    "SystemConfig",
+    "ThreadGeometry",
+    "UnitClass",
+    "WorkloadError",
+    "all_workloads",
+    "cgra_energy",
+    "compare_architectures",
+    "compile_kernel",
+    "default_energy_table",
+    "default_system_config",
+    "fermi_energy",
+    "get_workload",
+    "run_cycle_accurate",
+    "run_functional",
+    "run_suite",
+    "run_workload",
+    "workload_names",
+    "__version__",
+]

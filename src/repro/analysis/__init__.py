@@ -1,0 +1,31 @@
+"""Analysis of simulation results: ΔTID CDF, speedups, energy, reports."""
+
+from repro.analysis.comparison import ArchitectureComparison, ComparisonTable, geomean
+from repro.analysis.delta_cdf import (
+    DeltaSample,
+    TransmissionCdf,
+    build_cdf,
+    collect_delta_samples,
+)
+from repro.analysis.report import (
+    format_table,
+    render_figure5,
+    render_figure11,
+    render_figure12,
+    render_table3,
+)
+
+__all__ = [
+    "ArchitectureComparison",
+    "ComparisonTable",
+    "DeltaSample",
+    "TransmissionCdf",
+    "build_cdf",
+    "collect_delta_samples",
+    "format_table",
+    "geomean",
+    "render_figure5",
+    "render_figure11",
+    "render_figure12",
+    "render_table3",
+]

@@ -1,0 +1,92 @@
+"""Cross-architecture comparison metrics (Figs. 11 and 12).
+
+Figure 11 reports per-kernel speedup of MT-CGRA and dMT-CGRA over the
+Fermi SM; Figure 12 reports energy efficiency (Fermi energy divided by the
+architecture's energy).  Both are summarised with the geometric mean, as
+in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["geomean", "ArchitectureComparison", "ComparisonTable"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (returns 0.0 for an empty sequence)."""
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class ArchitectureComparison:
+    """One kernel's cycles and energy on every architecture."""
+
+    workload: str
+    cycles: dict[str, int] = field(default_factory=dict)
+    energy_pj: dict[str, float] = field(default_factory=dict)
+
+    def speedup(self, architecture: str, baseline: str = "fermi") -> float:
+        return self.cycles[baseline] / self.cycles[architecture]
+
+    def energy_efficiency(self, architecture: str, baseline: str = "fermi") -> float:
+        return self.energy_pj[baseline] / self.energy_pj[architecture]
+
+
+@dataclass
+class ComparisonTable:
+    """The full Figure 11 / Figure 12 data set."""
+
+    rows: list[ArchitectureComparison] = field(default_factory=list)
+
+    def add(self, comparison: ArchitectureComparison) -> None:
+        self.rows.append(comparison)
+
+    def workloads(self) -> list[str]:
+        return [row.workload for row in self.rows]
+
+    def row(self, workload: str) -> ArchitectureComparison:
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise KeyError(f"no comparison recorded for workload '{workload}'")
+
+    # ------------------------------------------------------------------ Fig 11
+    def speedups(self, architecture: str, baseline: str = "fermi") -> dict[str, float]:
+        return {row.workload: row.speedup(architecture, baseline) for row in self.rows}
+
+    def geomean_speedup(self, architecture: str, baseline: str = "fermi") -> float:
+        return geomean(self.speedups(architecture, baseline).values())
+
+    def max_speedup(self, architecture: str, baseline: str = "fermi") -> float:
+        return max(self.speedups(architecture, baseline).values())
+
+    # ------------------------------------------------------------------ Fig 12
+    def energy_efficiencies(self, architecture: str, baseline: str = "fermi") -> dict[str, float]:
+        return {
+            row.workload: row.energy_efficiency(architecture, baseline) for row in self.rows
+        }
+
+    def geomean_energy_efficiency(self, architecture: str, baseline: str = "fermi") -> float:
+        return geomean(self.energy_efficiencies(architecture, baseline).values())
+
+    def max_energy_efficiency(self, architecture: str, baseline: str = "fermi") -> float:
+        return max(self.energy_efficiencies(architecture, baseline).values())
+
+    # ---------------------------------------------------------------- summary
+    def summary(self) -> dict[str, float]:
+        return {
+            "geomean_speedup_mt": self.geomean_speedup("mt"),
+            "geomean_speedup_dmt": self.geomean_speedup("dmt"),
+            "max_speedup_dmt": self.max_speedup("dmt"),
+            "geomean_efficiency_mt": self.geomean_energy_efficiency("mt"),
+            "geomean_efficiency_dmt": self.geomean_energy_efficiency("dmt"),
+            "max_efficiency_dmt": self.max_energy_efficiency("dmt"),
+        }

@@ -1,0 +1,30 @@
+"""CGRA hardware models: tokens, units, elevator, eLDST, barrier, LVC, grid, NoC."""
+
+from repro.arch.barrier import BarrierStats, BarrierUnit
+from repro.arch.eldst import EldstStats, EldstUnit
+from repro.arch.elevator import ElevatorStats, ElevatorUnit
+from repro.arch.grid import COMPATIBLE_CLASSES, PhysicalGrid, PhysicalUnit
+from repro.arch.lvc import LiveValueCache, LiveValueCacheStats
+from repro.arch.noc import Link, Noc, NocStats
+from repro.arch.token import TaggedToken
+from repro.arch.token_buffer import TokenBuffer, TokenBufferStats
+
+__all__ = [
+    "BarrierStats",
+    "BarrierUnit",
+    "COMPATIBLE_CLASSES",
+    "EldstStats",
+    "EldstUnit",
+    "ElevatorStats",
+    "ElevatorUnit",
+    "LiveValueCache",
+    "LiveValueCacheStats",
+    "Link",
+    "Noc",
+    "NocStats",
+    "PhysicalGrid",
+    "PhysicalUnit",
+    "TaggedToken",
+    "TokenBuffer",
+    "TokenBufferStats",
+]

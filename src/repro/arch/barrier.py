@@ -1,0 +1,106 @@
+"""Work-group barrier support for the baseline architectures.
+
+dMT-CGRA kernels never need a barrier — point-to-point dataflow
+synchronisation replaces it — but the two baselines do:
+
+* the Fermi SM implements CUDA ``__syncthreads()`` in its warp scheduler;
+* the plain MT-CGRA maps the barrier to a dedicated unit that collects one
+  token per thread, parks the in-flight thread state in the Live Value
+  Cache and only releases the post-barrier tokens once every thread of the
+  block has arrived.
+
+This module models the collecting unit used by the MT-CGRA baseline and
+keeps the statistics (arrivals, release time, parked values) that feed the
+performance and energy comparison of Figs. 11 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["BarrierStats", "BarrierUnit"]
+
+
+@dataclass
+class BarrierStats:
+    """Counters of one barrier unit."""
+
+    arrivals: int = 0
+    releases: int = 0
+    parked_values: int = 0
+    wait_cycles: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "arrivals": self.arrivals,
+            "releases": self.releases,
+            "parked_values": self.parked_values,
+            "wait_cycles": self.wait_cycles,
+        }
+
+
+class BarrierUnit:
+    """Collects one arrival per thread and releases them all together."""
+
+    def __init__(self, num_threads: int) -> None:
+        if num_threads <= 0:
+            raise SimulationError("barrier needs a positive thread count")
+        self.num_threads = num_threads
+        self.stats = BarrierStats()
+        self._arrival_cycle: dict[int, int] = {}
+        self._released = False
+        self._release_cycle: int | None = None
+
+    # ------------------------------------------------------------------ state
+    @property
+    def arrived(self) -> int:
+        return len(self._arrival_cycle)
+
+    @property
+    def complete(self) -> bool:
+        return self.arrived >= self.num_threads
+
+    @property
+    def release_cycle(self) -> int | None:
+        return self._release_cycle
+
+    # ------------------------------------------------------------------ operate
+    def arrive(self, tid: int, cycle: int) -> bool:
+        """Thread ``tid`` reaches the barrier at ``cycle``.
+
+        Returns ``True`` when this arrival completes the barrier (i.e. the
+        caller should release every waiting thread).
+        """
+        if tid < 0 or tid >= self.num_threads:
+            raise SimulationError(f"thread {tid} is outside the barrier's block")
+        if tid in self._arrival_cycle:
+            raise SimulationError(f"thread {tid} arrived at the barrier twice")
+        self._arrival_cycle[tid] = cycle
+        self.stats.arrivals += 1
+        self.stats.parked_values += 1
+        if self.complete and not self._released:
+            self._released = True
+            self._release_cycle = max(self._arrival_cycle.values())
+            self.stats.releases += 1
+            self.stats.wait_cycles = sum(
+                self._release_cycle - c for c in self._arrival_cycle.values()
+            )
+            return True
+        return False
+
+    def waiting_threads(self) -> list[int]:
+        """Thread IDs currently parked at the barrier (unsorted arrival order)."""
+        if self._released:
+            return []
+        return list(self._arrival_cycle)
+
+    def arrival_cycle_of(self, tid: int) -> int:
+        try:
+            return self._arrival_cycle[tid]
+        except KeyError as exc:
+            raise SimulationError(f"thread {tid} has not arrived at the barrier") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BarrierUnit(arrived={self.arrived}/{self.num_threads})"

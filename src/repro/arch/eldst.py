@@ -1,0 +1,156 @@
+"""The enhanced load/store unit (eLDST, Sec. 4.2 and Fig. 9).
+
+The eLDST implements ``fromThreadOrMem``: threads whose predicate is true
+issue a real memory load; all other threads receive the value loaded by an
+earlier thread, forwarded through the unit's token buffer (the loop-back
+path of Fig. 9).  Each loaded value is reused ``window / Δ`` times, which
+is where the paper's memory-traffic reduction comes from.
+
+Like :class:`repro.arch.elevator.ElevatorUnit` this is the unit-level
+model used by the cycle simulator; the functional interpreter uses the
+shared helpers of :mod:`repro.graph.interthread`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.arch.token import TaggedToken
+from repro.errors import SimulationError
+from repro.graph.interthread import eldst_source
+from repro.graph.node import Node
+from repro.graph.opcodes import Opcode
+
+__all__ = ["EldstStats", "EldstUnit"]
+
+
+@dataclass
+class EldstStats:
+    """Counters of one eLDST unit."""
+
+    memory_loads: int = 0
+    forwarded: int = 0
+    loopback_tokens: int = 0
+    dropped_duplicates: int = 0
+    peak_buffered: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "memory_loads": self.memory_loads,
+            "forwarded": self.forwarded,
+            "loopback_tokens": self.loopback_tokens,
+            "dropped_duplicates": self.dropped_duplicates,
+            "peak_buffered": self.peak_buffered,
+        }
+
+
+class EldstUnit:
+    """Unit-level model of one configured eLDST unit."""
+
+    def __init__(
+        self,
+        node: Node,
+        block_dim: Sequence[int],
+        num_threads: int,
+        buffer_entries: int = 16,
+    ) -> None:
+        if node.opcode is not Opcode.ELDST:
+            raise SimulationError("EldstUnit requires an ELDST node")
+        if buffer_entries <= 0:
+            raise SimulationError("buffer_entries must be positive")
+        self.node = node
+        self.block_dim = tuple(block_dim)
+        self.num_threads = num_threads
+        self.buffer_entries = buffer_entries
+        self.stats = EldstStats()
+        # Forwarded values waiting for their consumer thread, keyed by TID.
+        self._buffered: dict[int, TaggedToken] = {}
+
+    # ------------------------------------------------------------------ config
+    @property
+    def delta(self) -> int:
+        return int(self.node.param("delta"))
+
+    @property
+    def window(self) -> Optional[int]:
+        return self.node.param("window")
+
+    @property
+    def array(self) -> str:
+        return str(self.node.param("array"))
+
+    # ------------------------------------------------------------------ queries
+    def source_of(self, consumer_tid: int) -> Optional[int]:
+        """The TID whose output is forwarded to ``consumer_tid`` (or None)."""
+        return eldst_source(self.node, consumer_tid, self.block_dim, self.num_threads)
+
+    def reuse_factor(self) -> float:
+        """Expected reuses per loaded value, ``window / Δ`` (Sec. 4.2)."""
+        window = self.window or self.num_threads
+        return window / max(1, abs(self.delta))
+
+    # ------------------------------------------------------------------ operate
+    def complete_load(self, tid: int, value: float | int | bool, now: int = 0) -> TaggedToken:
+        """Thread ``tid`` finished its memory load; produce its output token.
+
+        The output token is duplicated inside the unit: one copy goes
+        downstream, the other is re-tagged for the next consumer thread and
+        kept in the token buffer (Fig. 9's loop-back).
+        """
+        self.stats.memory_loads += 1
+        token = TaggedToken(tid=tid, value=value, produced_at=now)
+        self._loopback(token, now)
+        return token
+
+    def forward(self, consumer_tid: int, now: int = 0) -> Optional[TaggedToken]:
+        """Deliver the forwarded value buffered for ``consumer_tid`` (if any)."""
+        token = self._buffered.pop(consumer_tid, None)
+        if token is None:
+            return None
+        self.stats.forwarded += 1
+        out = TaggedToken(tid=consumer_tid, value=token.value, produced_at=now)
+        self._loopback(out, now)
+        return out
+
+    def has_forward_for(self, consumer_tid: int) -> bool:
+        return consumer_tid in self._buffered
+
+    def _loopback(self, token: TaggedToken, now: int) -> None:
+        """Duplicate ``token`` towards the next consumer in the chain."""
+        next_tid = token.tid + abs(self.delta)
+        if next_tid >= self.num_threads:
+            self.stats.dropped_duplicates += 1
+            return
+        window = self.window
+        if window is not None and (token.tid // window) != (next_tid // window):
+            # The duplicate's consumer is outside the transmission window;
+            # the paper discards it (Sec. 4.2).
+            self.stats.dropped_duplicates += 1
+            return
+        src = self.source_of(next_tid)
+        if src is None:
+            # The next thread loads for itself (its predicate is true).
+            self.stats.dropped_duplicates += 1
+            return
+        if next_tid in self._buffered:
+            raise SimulationError(
+                f"eLDST {self.node.label()} already buffers a token for thread {next_tid}"
+            )
+        self._buffered[next_tid] = token.retag(next_tid, produced_at=now)
+        self.stats.loopback_tokens += 1
+        self.stats.peak_buffered = max(self.stats.peak_buffered, len(self._buffered))
+
+    @property
+    def buffered_count(self) -> int:
+        return len(self._buffered)
+
+    def overflow(self) -> bool:
+        """True when more values are buffered than the token buffer holds."""
+        return len(self._buffered) > self.buffer_entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EldstUnit({self.node.label()}, array={self.array!r}, "
+            f"delta={self.delta}, buffered={len(self._buffered)})"
+        )

@@ -1,0 +1,164 @@
+"""The elevator node (Sec. 4.1, Figs. 4 and 8).
+
+The elevator node implements ``fromThreadOrConst``: it receives the token
+produced by thread ``TID`` and re-emits it tagged for thread ``TID + Δ``.
+Threads whose producer falls outside the thread block or outside the
+transmission window receive a preconfigured constant instead.  The node
+holds in-flight tokens in its token buffer, which bounds the shift a
+single node can support; larger shifts are obtained by cascading nodes
+(Sec. 4.3), which the compiler handles.
+
+This module is the *unit-level* model: given producer tokens it yields the
+retagged consumer tokens and keeps the statistics the power model charges
+(token-buffer reads/writes and retag operations).  The cycle-level
+simulator drives it token by token; the functional interpreter uses the
+pure helpers in :mod:`repro.graph.interthread` instead, so the two cannot
+disagree on the communication pattern — both are exercised against each
+other in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.arch.token import TaggedToken
+from repro.errors import SimulationError
+from repro.graph.interthread import elevator_destination, elevator_source
+from repro.graph.node import Node
+from repro.graph.opcodes import Opcode
+
+__all__ = ["ElevatorStats", "ElevatorUnit"]
+
+
+@dataclass
+class ElevatorStats:
+    """Counters of one elevator node."""
+
+    tokens_in: int = 0
+    tokens_retagged: int = 0
+    constants_injected: int = 0
+    tokens_dropped: int = 0
+    peak_buffered: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "tokens_in": self.tokens_in,
+            "tokens_retagged": self.tokens_retagged,
+            "constants_injected": self.constants_injected,
+            "tokens_dropped": self.tokens_dropped,
+            "peak_buffered": self.peak_buffered,
+        }
+
+
+class ElevatorUnit:
+    """Unit-level model of one configured elevator node."""
+
+    def __init__(
+        self,
+        node: Node,
+        block_dim: Sequence[int],
+        num_threads: int,
+        buffer_entries: int = 16,
+    ) -> None:
+        if node.opcode is not Opcode.ELEVATOR:
+            raise SimulationError("ElevatorUnit requires an ELEVATOR node")
+        if buffer_entries <= 0:
+            raise SimulationError("buffer_entries must be positive")
+        self.node = node
+        self.block_dim = tuple(block_dim)
+        self.num_threads = num_threads
+        self.buffer_entries = buffer_entries
+        self.stats = ElevatorStats()
+        self._buffered: dict[int, TaggedToken] = {}
+        self._delivered: set[int] = set()
+
+    # ------------------------------------------------------------------ config
+    @property
+    def delta(self) -> int:
+        return int(self.node.param("delta"))
+
+    @property
+    def constant(self) -> float | int | bool:
+        return self.node.param("const")
+
+    @property
+    def window(self) -> Optional[int]:
+        return self.node.param("window")
+
+    # ------------------------------------------------------------------ queries
+    def source_of(self, consumer_tid: int) -> Optional[int]:
+        """Producer TID for ``consumer_tid`` or ``None`` for the constant."""
+        return elevator_source(self.node, consumer_tid, self.block_dim, self.num_threads)
+
+    def destination_of(self, producer_tid: int) -> Optional[int]:
+        """Consumer TID of ``producer_tid``'s token or ``None`` if it is dropped."""
+        return elevator_destination(
+            self.node, producer_tid, self.block_dim, self.num_threads
+        )
+
+    def required_buffering(self, producer_tid: int) -> int:
+        """How many slots the producer's token occupies (|Δ| of the shift)."""
+        dst = self.destination_of(producer_tid)
+        if dst is None:
+            return 0
+        return abs(dst - producer_tid)
+
+    # ------------------------------------------------------------------ operate
+    def push(self, token: TaggedToken, now: int = 0) -> Optional[TaggedToken]:
+        """Feed the producer token of thread ``token.tid``.
+
+        Returns the retagged consumer token, or ``None`` when the producer's
+        destination is invalid (the token is simply dropped — the paper's
+        "thread TID may not serve as a producer").
+        """
+        self.stats.tokens_in += 1
+        dst = self.destination_of(token.tid)
+        if dst is None:
+            self.stats.tokens_dropped += 1
+            return None
+        if dst in self._delivered or dst in self._buffered:
+            raise SimulationError(
+                f"elevator {self.node.label()} received a second token for thread {dst}"
+            )
+        retagged = token.retag(dst, produced_at=now)
+        self._buffered[dst] = retagged
+        self.stats.peak_buffered = max(self.stats.peak_buffered, len(self._buffered))
+        self.stats.tokens_retagged += 1
+        return retagged
+
+    def constant_token(self, consumer_tid: int, now: int = 0) -> Optional[TaggedToken]:
+        """The fallback-constant token for ``consumer_tid`` (or ``None``).
+
+        Returns a token only when the consumer's producer is invalid —
+        exactly the ``else`` branch of the paper's Fig. 4 pseudo-code.
+        """
+        if self.source_of(consumer_tid) is not None:
+            return None
+        self.stats.constants_injected += 1
+        return TaggedToken(tid=consumer_tid, value=self.constant, produced_at=now)
+
+    def deliver(self, consumer_tid: int) -> Optional[TaggedToken]:
+        """Pop the buffered token destined to ``consumer_tid`` (if present)."""
+        token = self._buffered.pop(consumer_tid, None)
+        if token is not None:
+            self._delivered.add(consumer_tid)
+        return token
+
+    @property
+    def buffered_count(self) -> int:
+        return len(self._buffered)
+
+    def overflow(self) -> bool:
+        """True when the node currently buffers more tokens than it has entries.
+
+        The compiler's cascading pass guarantees this never happens for a
+        legalised graph; the cycle simulator asserts it as an invariant.
+        """
+        return len(self._buffered) > self.buffer_entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ElevatorUnit({self.node.label()}, delta={self.delta}, "
+            f"buffered={len(self._buffered)})"
+        )

@@ -1,0 +1,93 @@
+"""The Live Value Cache (LVC).
+
+The MT-CGRA architecture (VGIW, [7] in the paper) provides a small,
+compiler-managed cache used to park live values that cannot stay in the
+fabric — e.g. values crossing a barrier in the plain MT-CGRA baseline, or
+inter-thread transfers whose ΔTID is so large that even cascaded elevator
+nodes cannot buffer them (the spill fallback of Sec. 4.3).
+
+The model is a simple bounded key/value store with access counters; spills
+beyond the capacity overflow to the L1 (counted separately so the energy
+model can charge them at cache cost rather than LVC cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import SimulationError
+
+__all__ = ["LiveValueCacheStats", "LiveValueCache"]
+
+
+@dataclass
+class LiveValueCacheStats:
+    """Counters of the live value cache."""
+
+    writes: int = 0
+    reads: int = 0
+    overflow_writes: int = 0
+    overflow_reads: int = 0
+    peak_occupancy: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "writes": self.writes,
+            "reads": self.reads,
+            "overflow_writes": self.overflow_writes,
+            "overflow_reads": self.overflow_reads,
+            "peak_occupancy": self.peak_occupancy,
+        }
+
+
+class LiveValueCache:
+    """A bounded compiler-managed store for spilled live values."""
+
+    def __init__(self, capacity_values: int = 1024, access_latency: int = 6) -> None:
+        if capacity_values <= 0:
+            raise SimulationError("LVC capacity must be positive")
+        if access_latency < 1:
+            raise SimulationError("LVC access latency must be >= 1")
+        self.capacity_values = capacity_values
+        self.access_latency = access_latency
+        self.stats = LiveValueCacheStats()
+        self._store: dict[Hashable, float | int | bool] = {}
+        self._overflow: dict[Hashable, float | int | bool] = {}
+
+    # ------------------------------------------------------------------ operate
+    def write(self, key: Hashable, value: float | int | bool) -> int:
+        """Park ``value`` under ``key``; returns the access latency in cycles."""
+        if key in self._store or len(self._store) < self.capacity_values:
+            self._store[key] = value
+            self.stats.writes += 1
+        else:
+            self._overflow[key] = value
+            self.stats.overflow_writes += 1
+        occupancy = len(self._store) + len(self._overflow)
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, occupancy)
+        return self.access_latency
+
+    def read(self, key: Hashable) -> tuple[float | int | bool, int]:
+        """Read (and remove) the value parked under ``key``.
+
+        Returns ``(value, latency)``.  Raises if the key was never written —
+        that indicates a compiler/simulator bug, not a program error.
+        """
+        if key in self._store:
+            self.stats.reads += 1
+            return self._store.pop(key), self.access_latency
+        if key in self._overflow:
+            self.stats.overflow_reads += 1
+            return self._overflow.pop(key), self.access_latency
+        raise SimulationError(f"live value cache has no value parked under {key!r}")
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store or key in self._overflow
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._store) + len(self._overflow)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LiveValueCache(occupancy={self.occupancy}/{self.capacity_values})"

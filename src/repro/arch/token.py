@@ -1,0 +1,46 @@
+"""Tagged tokens — the unit of information moving through the CGRA.
+
+The MT-CGRA executes multiple threads on one configured dataflow graph by
+tagging every value with the thread ID it belongs to (dynamic tagged-token
+dataflow, Sec. 3 of the paper).  A :class:`TaggedToken` is therefore a
+``(tag, value)`` pair plus bookkeeping used by the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["TaggedToken"]
+
+
+@dataclass(frozen=True)
+class TaggedToken:
+    """A value travelling through the fabric, tagged with its thread ID."""
+
+    tid: int
+    value: float | int | bool
+    produced_at: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tid < 0:
+            raise ValueError("thread IDs must be non-negative")
+        if self.produced_at < 0:
+            raise ValueError("produced_at must be non-negative")
+
+    def retag(self, new_tid: int, produced_at: int | None = None) -> "TaggedToken":
+        """Return a copy of the token carrying a different thread ID.
+
+        Re-tagging is the paper's core hardware mechanism: only elevator
+        nodes and eLDST units may change a token's tag (Sec. 4).
+        """
+        return replace(
+            self,
+            tid=new_tid,
+            produced_at=self.produced_at if produced_at is None else produced_at,
+        )
+
+    def with_value(self, value: float | int | bool) -> "TaggedToken":
+        return replace(self, value=value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaggedToken(tid={self.tid}, value={self.value!r})"

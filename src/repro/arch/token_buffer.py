@@ -1,0 +1,132 @@
+"""Token buffer with tagged-token matching logic (Fig. 7b).
+
+Every functional unit of the grid holds a small token buffer.  Operands of
+different threads arrive out of order from the NoC; the buffer groups them
+by thread ID and reports which threads have a complete operand set and can
+therefore fire (the dataflow firing rule).  The buffer has a bounded number
+of thread slots (16 in Table 2), which is the quantity that limits how far
+a single elevator node can shift a token.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["TokenBufferStats", "TokenBuffer"]
+
+
+@dataclass
+class TokenBufferStats:
+    """Counters of one token buffer."""
+
+    inserts: int = 0
+    matches: int = 0
+    stalls_full: int = 0
+    peak_occupancy: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "inserts": self.inserts,
+            "matches": self.matches,
+            "stalls_full": self.stalls_full,
+            "peak_occupancy": self.peak_occupancy,
+        }
+
+
+@dataclass
+class _Slot:
+    operands: dict[int, float | int | bool] = field(default_factory=dict)
+    ready_bits: set[int] = field(default_factory=set)
+
+
+class TokenBuffer:
+    """Groups arriving operand tokens by thread ID until a thread can fire."""
+
+    def __init__(self, entries: int, arity: int) -> None:
+        if entries <= 0:
+            raise SimulationError("token buffer needs at least one entry")
+        if arity < 0:
+            raise SimulationError("arity must be non-negative")
+        self.entries = entries
+        self.arity = arity
+        self.stats = TokenBufferStats()
+        self._slots: OrderedDict[int, _Slot] = OrderedDict()
+
+    # ------------------------------------------------------------------ state
+    @property
+    def occupancy(self) -> int:
+        return len(self._slots)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._slots) >= self.entries
+
+    def has_slot_for(self, tid: int) -> bool:
+        """A token for ``tid`` can be accepted (existing slot or free entry)."""
+        return tid in self._slots or not self.is_full
+
+    def occupied_tids(self) -> list[int]:
+        return list(self._slots)
+
+    # ------------------------------------------------------------------ insert
+    def insert(self, tid: int, port: int, value: float | int | bool) -> bool:
+        """Insert one operand token.
+
+        Returns ``True`` if the token was accepted, ``False`` if the buffer
+        is full and has no slot for this thread (the caller must retry, i.e.
+        the producer experiences backpressure).
+        """
+        if port < 0 or (self.arity and port >= self.arity):
+            raise SimulationError(f"operand port {port} out of range (arity {self.arity})")
+        slot = self._slots.get(tid)
+        if slot is None:
+            if self.is_full:
+                self.stats.stalls_full += 1
+                return False
+            slot = _Slot()
+            self._slots[tid] = slot
+        if port in slot.operands:
+            raise SimulationError(
+                f"duplicate token for thread {tid} operand {port} in token buffer"
+            )
+        slot.operands[port] = value
+        self.stats.inserts += 1
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._slots))
+        return True
+
+    def mark_ready(self, tid: int, port: int) -> None:
+        """Mark operand ``port`` of ``tid`` as satisfied without a value.
+
+        Used by the elevator controller to acknowledge producer-only
+        threads (the paper's "setting the acknowledged bit", Sec. 4.1).
+        """
+        slot = self._slots.setdefault(tid, _Slot())
+        slot.ready_bits.add(port)
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._slots))
+
+    # ------------------------------------------------------------------ match
+    def ready_threads(self) -> list[int]:
+        """Thread IDs whose operand sets are complete (oldest first)."""
+        ready = []
+        for tid, slot in self._slots.items():
+            if len(slot.operands) + len(slot.ready_bits - set(slot.operands)) >= self.arity:
+                ready.append(tid)
+        return ready
+
+    def pop(self, tid: int) -> list[float | int | bool]:
+        """Remove thread ``tid``'s slot and return its operands in port order."""
+        slot = self._slots.pop(tid, None)
+        if slot is None:
+            raise SimulationError(f"thread {tid} has no slot in the token buffer")
+        self.stats.matches += 1
+        return [slot.operands[p] for p in sorted(slot.operands)]
+
+    def peek(self, tid: int) -> dict[int, float | int | bool]:
+        slot = self._slots.get(tid)
+        return dict(slot.operands) if slot else {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TokenBuffer(entries={self.entries}, arity={self.arity}, occ={self.occupancy})"

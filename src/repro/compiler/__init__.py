@@ -1,0 +1,15 @@
+"""The dMT-CGRA compiler: passes, mapper and the compilation pipeline."""
+
+from repro.compiler.pipeline import (
+    CompiledKernel,
+    CompilerOptions,
+    compile_kernel,
+    default_pass_pipeline,
+)
+
+__all__ = [
+    "CompiledKernel",
+    "CompilerOptions",
+    "compile_kernel",
+    "default_pass_pipeline",
+]

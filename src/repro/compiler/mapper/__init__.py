@@ -1,0 +1,18 @@
+"""Placement and routing of dataflow graphs onto the CGRA grid."""
+
+from repro.compiler.mapper.placement import (
+    AnnealingRefiner,
+    GreedyPlacer,
+    Placement,
+    place_graph,
+)
+from repro.compiler.mapper.routing import RoutedMapping, route_placement
+
+__all__ = [
+    "AnnealingRefiner",
+    "GreedyPlacer",
+    "Placement",
+    "RoutedMapping",
+    "place_graph",
+    "route_placement",
+]

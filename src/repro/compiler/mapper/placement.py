@@ -1,0 +1,264 @@
+"""Placement of dataflow nodes onto the physical CGRA grid.
+
+The mapper assigns every placeable node of the (legalised) dataflow graph
+to a physical unit whose class can host it (control units host elevator
+nodes, LDST units host eLDST units, ...).  The objective is the total
+Manhattan wire length of the graph's edges — the quantity that determines
+NoC hop counts, and therefore both communication latency and NoC energy.
+
+The algorithm is the classic two-step used by CGRA mappers:
+
+1. a *greedy seed*: nodes are placed in topological order, each on the
+   free compatible unit closest to the centroid of its already-placed
+   neighbours;
+2. *simulated-annealing refinement*: pairwise swaps / moves within the
+   compatible unit set, accepted with the Metropolis criterion under a
+   geometric cooling schedule (deterministically seeded so builds are
+   reproducible).
+
+If the graph demands more nodes of a class than the grid has units, the
+mapper falls back to sharing units (several nodes time-multiplex one
+unit); the cycle simulator models the resulting structural hazard.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.arch.grid import PhysicalGrid
+from repro.errors import MappingError
+from repro.graph.dfg import DataflowGraph
+from repro.graph.opcodes import UnitClass
+
+__all__ = ["Placement", "GreedyPlacer", "AnnealingRefiner", "place_graph"]
+
+#: Node classes that are not placed on the grid (handled by the streamer/sinks).
+UNPLACED_CLASSES = frozenset({UnitClass.SOURCE})
+
+
+@dataclass
+class Placement:
+    """A (possibly partial) assignment of graph nodes to physical units."""
+
+    graph: DataflowGraph
+    grid: PhysicalGrid
+    node_to_unit: dict[int, int] = field(default_factory=dict)
+
+    def unit_of(self, node_id: int) -> int | None:
+        return self.node_to_unit.get(node_id)
+
+    def nodes_on_unit(self, unit_id: int) -> list[int]:
+        return [n for n, u in self.node_to_unit.items() if u == unit_id]
+
+    def shared_units(self) -> dict[int, int]:
+        """Units hosting more than one node: ``{unit_id: node_count}``."""
+        counts: dict[int, int] = {}
+        for unit in self.node_to_unit.values():
+            counts[unit] = counts.get(unit, 0) + 1
+        return {u: c for u, c in counts.items() if c > 1}
+
+    def wire_length(self) -> int:
+        """Total Manhattan length of all placed edges."""
+        total = 0
+        for edge in self.graph.edges():
+            src_unit = self.node_to_unit.get(edge.src)
+            dst_unit = self.node_to_unit.get(edge.dst)
+            if src_unit is None or dst_unit is None:
+                continue
+            total += self.grid.distance(src_unit, dst_unit)
+        return total
+
+    def max_edge_distance(self) -> int:
+        longest = 0
+        for edge in self.graph.edges():
+            src_unit = self.node_to_unit.get(edge.src)
+            dst_unit = self.node_to_unit.get(edge.dst)
+            if src_unit is None or dst_unit is None:
+                continue
+            longest = max(longest, self.grid.distance(src_unit, dst_unit))
+        return longest
+
+
+class GreedyPlacer:
+    """Topological-order greedy seed placement."""
+
+    def __init__(self, grid: PhysicalGrid) -> None:
+        self.grid = grid
+
+    def place(self, graph: DataflowGraph) -> Placement:
+        placement = Placement(graph=graph, grid=self.grid)
+        free_units: dict[UnitClass, list[int]] = {
+            cls: [u.unit_id for u in self.grid.units_of_class(cls)]
+            for cls in self.grid.capacity()
+        }
+        usage: dict[int, int] = {}
+
+        for node in graph.topological_order(ignore_temporal=True):
+            if node.unit_class in UNPLACED_CLASSES:
+                continue
+            candidates = self._candidate_units(node.unit_class, free_units, usage)
+            if not candidates:
+                raise MappingError(
+                    f"no physical unit can host node {node.label()} "
+                    f"(class {node.unit_class.value})"
+                )
+            target = self._closest_to_neighbours(node.node_id, candidates, placement)
+            placement.node_to_unit[node.node_id] = target
+            usage[target] = usage.get(target, 0) + 1
+        return placement
+
+    def _candidate_units(
+        self,
+        node_class: UnitClass,
+        free_units: dict[UnitClass, list[int]],
+        usage: dict[int, int],
+    ) -> list[int]:
+        compatible = self.grid.units_compatible_with(node_class)
+        if not compatible:
+            return []
+        unused = [u.unit_id for u in compatible if usage.get(u.unit_id, 0) == 0]
+        if unused:
+            return unused
+        # Every compatible unit is taken: share the least-loaded ones.
+        min_load = min(usage.get(u.unit_id, 0) for u in compatible)
+        return [u.unit_id for u in compatible if usage.get(u.unit_id, 0) == min_load]
+
+    def _closest_to_neighbours(
+        self, node_id: int, candidates: list[int], placement: Placement
+    ) -> int:
+        graph = placement.graph
+        placed_neighbours = [
+            placement.node_to_unit[n]
+            for n in graph.predecessors(node_id)
+            if n in placement.node_to_unit
+        ]
+        if not placed_neighbours:
+            return candidates[0]
+        rows = [placement.grid.unit(u).row for u in placed_neighbours]
+        cols = [placement.grid.unit(u).col for u in placed_neighbours]
+        crow = sum(rows) / len(rows)
+        ccol = sum(cols) / len(cols)
+
+        def cost(unit_id: int) -> float:
+            unit = placement.grid.unit(unit_id)
+            return abs(unit.row - crow) + abs(unit.col - ccol)
+
+        return min(candidates, key=cost)
+
+
+class AnnealingRefiner:
+    """Simulated-annealing refinement of a seed placement."""
+
+    def __init__(
+        self,
+        iterations: int = 2000,
+        initial_temperature: float = 4.0,
+        cooling: float = 0.995,
+        seed: int = 0xC6A4,
+    ) -> None:
+        if iterations < 0:
+            raise MappingError("iterations must be non-negative")
+        if not 0.0 < cooling < 1.0:
+            raise MappingError("cooling factor must be in (0, 1)")
+        self.iterations = iterations
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.seed = seed
+
+    def refine(self, placement: Placement) -> Placement:
+        graph = placement.graph
+        grid = placement.grid
+        placed_nodes = list(placement.node_to_unit)
+        if len(placed_nodes) < 2 or self.iterations == 0:
+            return placement
+        rng = random.Random(self.seed)
+        temperature = self.initial_temperature
+        current_cost = placement.wire_length()
+
+        # Pre-compute, per node, the units it may occupy.
+        allowed: dict[int, list[int]] = {}
+        for node_id in placed_nodes:
+            node = graph.node(node_id)
+            allowed[node_id] = [
+                u.unit_id for u in grid.units_compatible_with(node.unit_class)
+            ]
+
+        for _ in range(self.iterations):
+            node_id = rng.choice(placed_nodes)
+            old_unit = placement.node_to_unit[node_id]
+            new_unit = rng.choice(allowed[node_id])
+            if new_unit == old_unit:
+                temperature *= self.cooling
+                continue
+            swap_partner = self._occupant(placement, new_unit, node_id, allowed, old_unit)
+            delta = self._move_delta(placement, node_id, old_unit, new_unit, swap_partner)
+            accept = delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9))
+            if accept:
+                placement.node_to_unit[node_id] = new_unit
+                if swap_partner is not None:
+                    placement.node_to_unit[swap_partner] = old_unit
+                current_cost += delta
+            temperature *= self.cooling
+        return placement
+
+    def _occupant(
+        self,
+        placement: Placement,
+        unit_id: int,
+        moving_node: int,
+        allowed: dict[int, list[int]],
+        old_unit: int,
+    ) -> int | None:
+        """A node on ``unit_id`` that may legally swap onto ``old_unit``."""
+        for node_id in placement.nodes_on_unit(unit_id):
+            if node_id != moving_node and old_unit in allowed.get(node_id, []):
+                return node_id
+        return None
+
+    def _move_delta(
+        self,
+        placement: Placement,
+        node_id: int,
+        old_unit: int,
+        new_unit: int,
+        swap_partner: int | None,
+    ) -> int:
+        affected = {node_id}
+        if swap_partner is not None:
+            affected.add(swap_partner)
+        before = self._local_cost(placement, affected)
+        placement.node_to_unit[node_id] = new_unit
+        if swap_partner is not None:
+            placement.node_to_unit[swap_partner] = old_unit
+        after = self._local_cost(placement, affected)
+        placement.node_to_unit[node_id] = old_unit
+        if swap_partner is not None:
+            placement.node_to_unit[swap_partner] = new_unit
+        return after - before
+
+    def _local_cost(self, placement: Placement, nodes: set[int]) -> int:
+        graph = placement.graph
+        total = 0
+        for edge in graph.edges():
+            if edge.src not in nodes and edge.dst not in nodes:
+                continue
+            src_unit = placement.node_to_unit.get(edge.src)
+            dst_unit = placement.node_to_unit.get(edge.dst)
+            if src_unit is None or dst_unit is None:
+                continue
+            total += placement.grid.distance(src_unit, dst_unit)
+        return total
+
+
+def place_graph(
+    graph: DataflowGraph,
+    grid: PhysicalGrid,
+    anneal_iterations: int = 2000,
+    seed: int = 0xC6A4,
+) -> Placement:
+    """Greedy seed followed by annealing refinement."""
+    seed_placement = GreedyPlacer(grid).place(graph)
+    refiner = AnnealingRefiner(iterations=anneal_iterations, seed=seed)
+    return refiner.refine(seed_placement)

@@ -1,0 +1,90 @@
+"""Compiler pass infrastructure.
+
+A pass transforms a :class:`~repro.graph.dfg.DataflowGraph` in place and
+reports what it did through a :class:`PassResult`.  The
+:class:`PassManager` runs a pipeline of passes, re-validating the graph
+after each transforming pass so that a broken pass is caught at the point
+it breaks the graph, not three passes later.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.config.system import SystemConfig
+from repro.errors import CompilationError
+from repro.graph.dfg import DataflowGraph
+from repro.graph.validate import validate_graph
+
+__all__ = ["PassResult", "Pass", "PassManager"]
+
+
+@dataclass
+class PassResult:
+    """Outcome of one pass over one graph."""
+
+    pass_name: str
+    changed: bool = False
+    notes: list[str] = field(default_factory=list)
+    metrics: dict[str, int] = field(default_factory=dict)
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def bump(self, metric: str, amount: int = 1) -> None:
+        self.metrics[metric] = self.metrics.get(metric, 0) + amount
+        if amount:
+            self.changed = True
+
+
+class Pass(abc.ABC):
+    """Base class of every compiler pass."""
+
+    #: Human-readable pass name (defaults to the class name).
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+
+    @abc.abstractmethod
+    def run(self, graph: DataflowGraph, config: SystemConfig) -> PassResult:
+        """Transform ``graph`` in place and describe what happened."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class PassManager:
+    """Runs a sequence of passes, validating the graph between passes."""
+
+    def __init__(self, passes: Sequence[Pass], validate_between: bool = True) -> None:
+        self.passes = list(passes)
+        self.validate_between = validate_between
+        self.results: list[PassResult] = []
+
+    def run(self, graph: DataflowGraph, config: SystemConfig) -> list[PassResult]:
+        self.results = []
+        for compiler_pass in self.passes:
+            try:
+                result = compiler_pass.run(graph, config)
+            except CompilationError:
+                raise
+            except Exception as exc:  # pragma: no cover - defensive
+                raise CompilationError(
+                    f"pass {compiler_pass.name} failed on graph '{graph.name}': {exc}"
+                ) from exc
+            self.results.append(result)
+            if self.validate_between and result.changed:
+                validate_graph(graph)
+        return self.results
+
+    def summary(self) -> str:
+        lines = []
+        for result in self.results:
+            status = "changed" if result.changed else "no-op"
+            metrics = ", ".join(f"{k}={v}" for k, v in sorted(result.metrics.items()))
+            lines.append(f"{result.pass_name}: {status}" + (f" ({metrics})" if metrics else ""))
+        return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Elevator legalisation: cascading and spilling (Sec. 4.3, Fig. 10a).
+
+A single elevator node can only shift a token by at most the size of its
+token buffer (16 entries in Table 2).  ``fromThreadOrConst`` calls with a
+larger ΔTID are legalised by *cascading* elevator nodes: a chain whose
+per-node shifts sum to the requested distance.  When the chain would need
+more elevator-capable units than the grid provides, the transfer is
+*spilled* to the Live Value Cache instead (the paper's fallback), which
+the cycle simulator then charges at LVC cost rather than fabric cost.
+
+The pass operates on the hardware shift stored in the node's ``delta``
+parameter.  Multi-dimensional source offsets are preserved on the *last*
+node of the chain so that boundary conditions keep their per-dimension
+semantics; intermediate nodes are pure linear shifters.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.passes.base import Pass, PassResult
+from repro.config.system import SystemConfig
+from repro.errors import CompilationError
+from repro.graph.dfg import DataflowGraph
+from repro.graph.node import Node
+from repro.graph.opcodes import Opcode, UnitClass
+
+__all__ = ["CascadeElevatorsPass", "split_delta", "cascade_plan"]
+
+
+def split_delta(delta: int, buffer_entries: int) -> list[int]:
+    """Split a hardware shift into per-node shifts of at most ``buffer_entries``.
+
+    The split mirrors Fig. 10a: the first nodes take the full buffer size
+    and the final node takes the remainder (18 with a 16-entry buffer
+    becomes ``[16, 2]``).
+    """
+    if buffer_entries <= 0:
+        raise CompilationError("token buffer size must be positive")
+    if delta == 0:
+        raise CompilationError("elevator delta must be non-zero")
+    magnitude = abs(delta)
+    sign = 1 if delta > 0 else -1
+    chunks: list[int] = []
+    while magnitude > 0:
+        step = min(magnitude, buffer_entries)
+        chunks.append(sign * step)
+        magnitude -= step
+    return chunks
+
+
+def cascade_plan(delta: int, buffer_entries: int) -> int:
+    """Number of elevator nodes needed to realise ``delta``."""
+    return len(split_delta(delta, buffer_entries))
+
+
+class CascadeElevatorsPass(Pass):
+    """Cascade (or spill) elevator nodes whose ΔTID exceeds the token buffer."""
+
+    name = "cascade-elevators"
+
+    def run(self, graph: DataflowGraph, config: SystemConfig) -> PassResult:
+        result = PassResult(self.name)
+        buffer_entries = config.token_buffer.entries
+        available = self._available_elevator_units(graph, config)
+        for node in list(graph.nodes):
+            if node.opcode is not Opcode.ELEVATOR:
+                continue
+            delta = int(node.param("delta"))
+            if abs(delta) <= buffer_entries:
+                continue
+            chunks = split_delta(delta, buffer_entries)
+            extra_needed = len(chunks) - 1
+            if extra_needed > available:
+                node.params["spilled"] = True
+                result.bump("spilled_transfers")
+                result.note(
+                    f"{node.label()}: ΔTID {delta} needs {len(chunks)} elevator nodes, "
+                    f"only {available} spare control units — spilled to the LVC"
+                )
+                continue
+            available -= extra_needed
+            self._cascade(graph, node, chunks)
+            result.bump("cascaded_calls")
+            result.bump("inserted_elevators", extra_needed)
+            result.note(
+                f"{node.label()}: ΔTID {delta} split into shifts {chunks} "
+                f"({len(chunks)} cascaded elevator nodes)"
+            )
+        return result
+
+    # ------------------------------------------------------------------ helpers
+    def _available_elevator_units(self, graph: DataflowGraph, config: SystemConfig) -> int:
+        used = len(graph.nodes_with_opcode(Opcode.ELEVATOR))
+        capacity = config.grid.num_control
+        return max(0, capacity - used)
+
+    def _cascade(self, graph: DataflowGraph, node: Node, chunks: list[int]) -> None:
+        """Rewrite ``node`` into a chain realising the same cumulative shift."""
+        inputs = graph.inputs_of(node.node_id)
+        upstream = inputs.get(0)
+        constant = node.param("const")
+        window = node.param("window")
+        src_offset = node.param("src_offset")
+        dtype = node.dtype
+
+        # Build the chain front-to-back; the original node becomes the last
+        # stage so downstream consumers keep their existing edges.
+        previous = upstream
+        for index, chunk in enumerate(chunks[:-1]):
+            stage = graph.add_node(
+                Opcode.ELEVATOR,
+                dtype,
+                params={
+                    "delta": chunk,
+                    "const": constant,
+                    "window": window,
+                    "cascade_stage": index,
+                },
+                name=f"{node.name or 'elevator'}_stage{index}",
+            )
+            if previous is not None:
+                graph.add_edge(previous, stage, 0)
+            previous = stage.node_id
+
+        node.params["delta"] = chunks[-1]
+        node.params["cascade_stage"] = len(chunks) - 1
+        node.params["cascade_total_delta"] = sum(chunks)
+        if src_offset is not None:
+            # The per-dimension boundary test only makes sense for the full
+            # shift; keep it out of the partial stages.
+            node.params.pop("src_offset", None)
+        if previous is not None:
+            if upstream is not None:
+                graph.replace_input(node.node_id, 0, previous)
+            else:
+                graph.add_edge(previous, node.node_id, 0)

@@ -1,0 +1,55 @@
+"""Constant folding.
+
+Pure nodes whose operands are all ``CONST`` are evaluated at compile time
+and replaced by a single ``CONST`` node.  This mirrors what the paper's
+LLVM front-end would do before configuring the grid and keeps the mapped
+graph (and therefore the unit demand used for replication) honest.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.passes.base import Pass, PassResult
+from repro.config.system import SystemConfig
+from repro.graph.dfg import DataflowGraph
+from repro.graph.opcodes import Opcode
+from repro.graph.semantics import PURE_OPCODES, evaluate_pure
+
+__all__ = ["ConstantFoldPass"]
+
+
+class ConstantFoldPass(Pass):
+    """Fold pure operations over compile-time constants."""
+
+    name = "constant-fold"
+
+    def run(self, graph: DataflowGraph, config: SystemConfig) -> PassResult:
+        result = PassResult(self.name)
+        changed = True
+        while changed:
+            changed = False
+            for node in list(graph.nodes):
+                if node.opcode not in PURE_OPCODES or node.opcode is Opcode.JOIN:
+                    continue
+                inputs = graph.inputs_of(node.node_id)
+                if not inputs:
+                    continue
+                sources = [graph.node(src) for src in inputs.values()]
+                if any(src.opcode is not Opcode.CONST for src in sources):
+                    continue
+                operands = [
+                    graph.node(inputs[port]).param("value")
+                    for port in sorted(inputs)
+                ]
+                value = evaluate_pure(node, operands)
+                folded = graph.add_node(
+                    Opcode.CONST,
+                    node.dtype,
+                    params={"value": value},
+                    name=f"folded_{node.name or node.opcode.value}",
+                )
+                for dst, port in graph.successors(node.node_id):
+                    graph.replace_input(dst, port, folded)
+                graph.remove_node(node.node_id)
+                result.bump("folded_nodes")
+                changed = True
+        return result

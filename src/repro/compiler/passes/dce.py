@@ -1,0 +1,50 @@
+"""Dead code elimination.
+
+Nodes whose output reaches no store, output or other side effect are
+removed.  The liveness walk follows edges *backwards* from every
+side-effecting node; temporal edges are ordinary edges for this purpose
+(a value communicated to another thread is only live if that other thread
+eventually uses it for a side effect).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.compiler.passes.base import Pass, PassResult
+from repro.config.system import SystemConfig
+from repro.graph.dfg import DataflowGraph
+from repro.graph.opcodes import Opcode
+
+__all__ = ["DeadCodeEliminationPass", "SIDE_EFFECT_OPCODES"]
+
+#: Opcodes that anchor liveness.
+SIDE_EFFECT_OPCODES = frozenset(
+    {Opcode.STORE, Opcode.SCRATCH_STORE, Opcode.OUTPUT, Opcode.BARRIER}
+)
+
+
+class DeadCodeEliminationPass(Pass):
+    """Remove nodes that cannot influence any side effect."""
+
+    name = "dead-code-elimination"
+
+    def run(self, graph: DataflowGraph, config: SystemConfig) -> PassResult:
+        result = PassResult(self.name)
+        live: set[int] = set()
+        queue: deque[int] = deque(
+            node.node_id for node in graph.nodes if node.opcode in SIDE_EFFECT_OPCODES
+        )
+        while queue:
+            nid = queue.popleft()
+            if nid in live:
+                continue
+            live.add(nid)
+            for src in graph.predecessors(nid):
+                if src not in live:
+                    queue.append(src)
+        for node in list(graph.nodes):
+            if node.node_id not in live:
+                graph.remove_node(node.node_id)
+                result.bump("removed_nodes")
+        return result

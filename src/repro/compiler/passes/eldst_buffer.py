@@ -1,0 +1,76 @@
+"""eLDST external-buffer legalisation (Sec. 4.3, Fig. 10b).
+
+Unlike elevator nodes, an eLDST unit cannot simply be cascaded: it acts as
+the local buffer for its own in-flight memory values.  When a
+``fromThreadOrMem`` call forwards values across a distance larger than the
+unit's token buffer, the compiler wraps the eLDST in a loop of predicated
+elevator nodes (enclosed by MUXes) that provides the extra buffering.
+
+The pass records the plan on the eLDST node (how many external elevator
+nodes form the loop), consumes the corresponding control units, and falls
+back to spilling through the Live Value Cache when the grid runs out of
+control units — matching the elevator spill path.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.compiler.passes.base import Pass, PassResult
+from repro.config.system import SystemConfig
+from repro.graph.dfg import DataflowGraph
+from repro.graph.opcodes import Opcode
+
+__all__ = ["EldstBufferPass", "external_buffer_nodes"]
+
+
+def external_buffer_nodes(delta: int, buffer_entries: int) -> int:
+    """Number of loop elevator nodes needed for a forwarding distance ``delta``.
+
+    A distance that fits the eLDST's own token buffer needs none; beyond
+    that, each loop node contributes one token buffer of extra capacity.
+    """
+    if buffer_entries <= 0:
+        raise ValueError("buffer_entries must be positive")
+    distance = abs(int(delta))
+    if distance <= buffer_entries:
+        return 0
+    return math.ceil((distance - buffer_entries) / buffer_entries)
+
+
+class EldstBufferPass(Pass):
+    """Plan external buffering for eLDST units with long forwarding distances."""
+
+    name = "eldst-external-buffer"
+
+    def run(self, graph: DataflowGraph, config: SystemConfig) -> PassResult:
+        result = PassResult(self.name)
+        buffer_entries = config.token_buffer.entries
+        used_control = len(graph.nodes_with_opcode(Opcode.ELEVATOR))
+        available = max(0, config.grid.num_control - used_control)
+        for node in graph.nodes_with_opcode(Opcode.ELDST):
+            delta = int(node.param("delta"))
+            needed = external_buffer_nodes(delta, buffer_entries)
+            if needed == 0:
+                continue
+            # The loop additionally needs its two enclosing MUXes (control units).
+            loop_units = needed + 2
+            if loop_units > available:
+                node.params["spilled"] = True
+                result.bump("spilled_forwards")
+                result.note(
+                    f"{node.label()}: forwarding distance {delta} needs {loop_units} "
+                    f"control units for its external buffer loop, only {available} "
+                    "available — spilled to the LVC"
+                )
+                continue
+            available -= loop_units
+            node.params["external_buffer_nodes"] = needed
+            node.params["external_buffer_units"] = loop_units
+            result.bump("buffered_forwards")
+            result.bump("loop_elevators", needed)
+            result.note(
+                f"{node.label()}: forwarding distance {delta} mapped to an external "
+                f"buffer loop of {needed} elevator nodes (+2 MUXes)"
+            )
+        return result

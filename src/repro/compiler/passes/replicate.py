@@ -1,0 +1,62 @@
+"""Graph replication analysis.
+
+"Prior to executing a kernel, the functional units and interconnect are
+configured to execute a dataflow graph that consists of one or more
+replicas of the kernel's dataflow graph" (Sec. 3).  Replication fills
+otherwise-idle functional units and multiplies the thread injection rate.
+
+This pass does not physically copy the graph — the cycle simulator treats
+``replicas`` as the per-node issue width, which is throughput-equivalent —
+but it performs the same resource arithmetic the real toolchain would:
+the replica count is the largest R such that R copies of the per-class
+unit demand fit the grid inventory, capped by ``max_graph_replicas``.
+"""
+
+from __future__ import annotations
+
+from repro.arch.grid import PhysicalGrid
+from repro.compiler.passes.base import Pass, PassResult
+from repro.config.system import SystemConfig
+from repro.graph.dfg import DataflowGraph
+from repro.graph.opcodes import UnitClass
+
+__all__ = ["ReplicatePass", "max_replicas"]
+
+
+def max_replicas(graph: DataflowGraph, config: SystemConfig) -> int:
+    """Largest replica count whose combined unit demand fits the grid."""
+    grid = PhysicalGrid(config.grid)
+    demand = graph.unit_demand()
+    best = config.max_graph_replicas
+    for unit_class, needed in demand.items():
+        if unit_class in (UnitClass.SOURCE, UnitClass.SINK, UnitClass.BARRIER):
+            continue
+        if needed == 0:
+            continue
+        capacity = grid.capacity_for(unit_class)
+        if capacity == 0:
+            return 1
+        best = min(best, capacity // needed) if capacity >= needed else 1
+        if capacity < needed:
+            return 1
+    return max(1, best)
+
+
+class ReplicatePass(Pass):
+    """Record the replica count the grid can sustain in the graph metadata."""
+
+    name = "replicate"
+
+    def run(self, graph: DataflowGraph, config: SystemConfig) -> PassResult:
+        result = PassResult(self.name)
+        replicas = max_replicas(graph, config)
+        previous = graph.metadata.get("replicas")
+        graph.metadata["replicas"] = replicas
+        if previous != replicas:
+            result.changed = True
+        result.metrics["replicas"] = replicas
+        result.note(
+            f"graph '{graph.name}' replicated {replicas}x "
+            f"(demand {{{', '.join(f'{k.value}: {v}' for k, v in sorted(graph.unit_demand().items(), key=lambda x: x[0].value))}}})"
+        )
+        return result

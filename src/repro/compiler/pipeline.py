@@ -1,0 +1,147 @@
+"""The compilation pipeline: kernel graph -> legalised, placed, routed kernel.
+
+This is the Python stand-in for the paper's LLVM-based toolchain
+(Sec. 5.1 "Compiler"): the kernel builder produces an SSA-like dataflow
+graph, the passes legalise inter-thread communication for the hardware
+limits of Table 2, and the mapper configures the grid and interconnect.
+The output, a :class:`CompiledKernel`, is what both simulators consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.arch.grid import PhysicalGrid
+from repro.compiler.mapper.placement import Placement, place_graph
+from repro.compiler.mapper.routing import RoutedMapping, route_placement
+from repro.compiler.passes.base import Pass, PassManager, PassResult
+from repro.compiler.passes.cascade import CascadeElevatorsPass
+from repro.compiler.passes.constant_fold import ConstantFoldPass
+from repro.compiler.passes.dce import DeadCodeEliminationPass
+from repro.compiler.passes.eldst_buffer import EldstBufferPass
+from repro.compiler.passes.replicate import ReplicatePass
+from repro.config.system import SystemConfig, default_system_config
+from repro.graph.dfg import DataflowGraph
+from repro.graph.opcodes import Opcode
+from repro.graph.validate import validate_graph
+
+__all__ = ["CompiledKernel", "CompilerOptions", "default_pass_pipeline", "compile_kernel"]
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Knobs of the compilation pipeline."""
+
+    optimize: bool = True
+    map_to_grid: bool = True
+    anneal_iterations: int = 1500
+    seed: int = 0xC6A4
+
+
+@dataclass
+class CompiledKernel:
+    """A kernel ready for simulation."""
+
+    graph: DataflowGraph
+    config: SystemConfig
+    pass_results: list[PassResult] = field(default_factory=list)
+    mapping: RoutedMapping | None = None
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    @property
+    def replicas(self) -> int:
+        return int(self.graph.metadata.get("replicas", 1))
+
+    @property
+    def num_threads(self) -> int:
+        return int(self.graph.metadata["num_threads"])
+
+    @property
+    def block_dim(self) -> tuple[int, ...]:
+        return tuple(self.graph.metadata["block_dim"])
+
+    def elevator_nodes(self) -> list:
+        return self.graph.nodes_with_opcode(Opcode.ELEVATOR)
+
+    def eldst_nodes(self) -> list:
+        return self.graph.nodes_with_opcode(Opcode.ELDST)
+
+    def uses_inter_thread_communication(self) -> bool:
+        return bool(self.elevator_nodes() or self.eldst_nodes())
+
+    def uses_barriers(self) -> bool:
+        return bool(self.graph.nodes_with_opcode(Opcode.BARRIER))
+
+    def spilled_nodes(self) -> list:
+        return [n for n in self.graph.nodes if n.param("spilled")]
+
+    def edge_hops(self, src: int, dst: int) -> int:
+        if self.mapping is None:
+            return 0
+        return self.mapping.hops_between_nodes(src, dst)
+
+    def report(self) -> str:
+        lines = [f"compiled kernel '{self.name}'"]
+        lines.append(f"  nodes               : {len(self.graph)}")
+        lines.append(f"  edges               : {self.graph.num_edges()}")
+        lines.append(f"  threads             : {self.num_threads} (block {self.block_dim})")
+        lines.append(f"  replicas            : {self.replicas}")
+        lines.append(f"  elevator nodes      : {len(self.elevator_nodes())}")
+        lines.append(f"  eLDST nodes         : {len(self.eldst_nodes())}")
+        lines.append(f"  spilled transfers   : {len(self.spilled_nodes())}")
+        if self.mapping is not None:
+            lines.append(f"  mapping             : {self.mapping.summary()}")
+        for result in self.pass_results:
+            if result.metrics:
+                metrics = ", ".join(f"{k}={v}" for k, v in sorted(result.metrics.items()))
+                lines.append(f"  pass {result.pass_name:<22}: {metrics}")
+        return "\n".join(lines)
+
+
+def default_pass_pipeline(optimize: bool = True) -> list[Pass]:
+    """The standard pass order used by :func:`compile_kernel`."""
+    passes: list[Pass] = []
+    if optimize:
+        passes.append(ConstantFoldPass())
+        passes.append(DeadCodeEliminationPass())
+    passes.append(CascadeElevatorsPass())
+    passes.append(EldstBufferPass())
+    passes.append(ReplicatePass())
+    return passes
+
+
+def compile_kernel(
+    graph: DataflowGraph,
+    config: SystemConfig | None = None,
+    options: CompilerOptions | None = None,
+    extra_passes: Sequence[Pass] = (),
+) -> CompiledKernel:
+    """Compile a kernel graph for the configured dMT-CGRA system.
+
+    The input graph is not modified; compilation operates on a copy.
+    """
+    config = config or default_system_config()
+    options = options or CompilerOptions()
+    working = graph.copy()
+    validate_graph(working)
+
+    passes = default_pass_pipeline(options.optimize) + list(extra_passes)
+    manager = PassManager(passes)
+    results = manager.run(working, config)
+
+    mapping: RoutedMapping | None = None
+    if options.map_to_grid:
+        grid = PhysicalGrid(config.grid)
+        placement: Placement = place_graph(
+            working, grid, anneal_iterations=options.anneal_iterations, seed=options.seed
+        )
+        mapping = route_placement(placement, config.noc)
+
+    return CompiledKernel(
+        graph=working, config=config, pass_results=results, mapping=mapping
+    )

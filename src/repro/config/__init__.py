@@ -1,0 +1,29 @@
+"""System configuration (paper Table 2)."""
+
+from repro.config.system import (
+    CacheConfig,
+    CgraGridConfig,
+    DramConfig,
+    FermiSmConfig,
+    LatencyConfig,
+    MemorySystemConfig,
+    NocConfig,
+    ScratchpadConfig,
+    SystemConfig,
+    TokenBufferConfig,
+    default_system_config,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CgraGridConfig",
+    "DramConfig",
+    "FermiSmConfig",
+    "LatencyConfig",
+    "MemorySystemConfig",
+    "NocConfig",
+    "ScratchpadConfig",
+    "SystemConfig",
+    "TokenBufferConfig",
+    "default_system_config",
+]

@@ -1,0 +1,19 @@
+"""Fermi-like von Neumann GPGPU baseline: ISA, programs and SIMT simulator."""
+
+from repro.gpgpu.isa import Imm, Instruction, Op, Pred, Reg, Special
+from repro.gpgpu.program import SimtProgram, SimtProgramBuilder
+from repro.gpgpu.simulator import FermiResult, FermiSimulator, run_fermi
+
+__all__ = [
+    "FermiResult",
+    "FermiSimulator",
+    "Imm",
+    "Instruction",
+    "Op",
+    "Pred",
+    "Reg",
+    "SimtProgram",
+    "SimtProgramBuilder",
+    "Special",
+    "run_fermi",
+]

@@ -1,0 +1,444 @@
+"""Cycle-level simulator of the Fermi-like SIMT baseline (one GTX480 SM).
+
+The model reproduces the first-order von Neumann costs the paper measures
+the CGRA against:
+
+* **instruction issue width** — two warp schedulers, each issuing one
+  instruction per cycle from a ready warp, which caps throughput at
+  ``2 x 32`` lane-operations per cycle no matter how many ALUs exist;
+* **register-file traffic** — every operand is read from and every result
+  written to the register file (counted per lane for the energy model);
+* **scoreboarding** — an instruction does not issue until the registers it
+  reads are ready (ALU latency, SFU latency, or the memory latency returned
+  by the shared L1/L2/DRAM hierarchy);
+* **shared-memory** accesses with bank-conflict serialisation, and global
+  accesses coalesced into 128-byte transactions (write-through,
+  write-no-allocate L1, as configured for Fermi in the paper);
+* **barriers** that stall every warp until the whole block arrives.
+
+Branches must be warp-uniform (the nine evaluated kernels use predication
+for lane-divergent behaviour), which matches how the hand-written baseline
+kernels are expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.config.system import SystemConfig, default_system_config
+from repro.errors import GpgpuExecutionError
+from repro.gpgpu.isa import Imm, Instruction, Op, Operand, Pred, Reg, Special
+from repro.gpgpu.program import SimtProgram
+from repro.kernel.arrays import MemorySpace
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.image import MemoryImage
+from repro.memory.request import AccessType
+from repro.sim.stats import ExecutionStats
+
+__all__ = ["FermiResult", "FermiSimulator", "run_fermi"]
+
+
+@dataclass
+class FermiResult:
+    """Outcome of one SIMT kernel execution."""
+
+    cycles: int
+    stats: ExecutionStats
+    memory: MemoryImage
+    hierarchy: MemoryHierarchy
+
+    def array(self, name: str) -> np.ndarray:
+        return self.memory.array(name)
+
+    def counters(self) -> dict[str, int | float]:
+        merged = dict(self.stats.as_dict())
+        merged.update(self.hierarchy.stats().flat())
+        return merged
+
+
+@dataclass
+class _Warp:
+    """Mutable per-warp execution state."""
+
+    warp_id: int
+    lanes: np.ndarray  # linear thread IDs covered by this warp
+    pc: int = 0
+    done: bool = False
+    at_barrier: bool = False
+    next_free: int = 0
+    reg_ready: dict[int, int] = field(default_factory=dict)
+    pred_ready: dict[int, int] = field(default_factory=dict)
+
+
+class FermiSimulator:
+    """Executes a :class:`SimtProgram` on the Fermi-like SM model."""
+
+    def __init__(
+        self,
+        program: SimtProgram,
+        inputs: Mapping[str, np.ndarray] | None = None,
+        config: SystemConfig | None = None,
+        max_cycles: int = 20_000_000,
+    ) -> None:
+        self.program = program
+        self.config = config or default_system_config()
+        self.fermi = self.config.fermi
+        self.max_cycles = max_cycles
+
+        self.num_threads = program.num_threads
+        self.memory = MemoryImage(program.arrays)
+        if inputs:
+            self.memory.initialise(dict(inputs))
+        self.hierarchy = MemoryHierarchy(
+            self.config.memory, l1_write_through=self.fermi.l1_write_through
+        )
+        self.stats = ExecutionStats(threads=self.num_threads)
+
+        self.registers = np.zeros((max(1, program.num_registers), self.num_threads))
+        self.predicates = np.zeros(
+            (max(1, program.num_predicates), self.num_threads), dtype=bool
+        )
+        self._warps = self._build_warps()
+        self._coords = np.array(
+            [program.geometry.unlinearize(t) for t in range(self.num_threads)]
+        )
+        # Execution-pipe occupancy: a warp instruction is dispatched over the
+        # SM's execution units of its class (32 CUDA cores, 16 LD/ST units,
+        # 4 SFUs), which bounds per-class instruction throughput.
+        self._pipe_free: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ setup
+    def _build_warps(self) -> list[_Warp]:
+        warp_size = self.fermi.warp_size
+        warps = []
+        for start in range(0, self.num_threads, warp_size):
+            lanes = np.arange(start, min(start + warp_size, self.num_threads))
+            warps.append(_Warp(warp_id=len(warps), lanes=lanes))
+        if len(warps) > self.fermi.max_resident_warps:
+            raise GpgpuExecutionError(
+                f"kernel needs {len(warps)} warps, the SM holds "
+                f"{self.fermi.max_resident_warps}"
+            )
+        return warps
+
+    # ------------------------------------------------------------------ driver
+    def run(self) -> FermiResult:
+        cycle = 0
+        rr_start = 0
+        while not all(w.done for w in self._warps):
+            if cycle > self.max_cycles:
+                raise GpgpuExecutionError(
+                    f"SIMT kernel '{self.program.name}' exceeded {self.max_cycles} cycles"
+                )
+            self._maybe_release_barrier(cycle)
+            issued = 0
+            issued_warps: set[int] = set()
+            order = [
+                self._warps[(rr_start + i) % len(self._warps)]
+                for i in range(len(self._warps))
+            ]
+            for warp in order:
+                if issued >= self.fermi.schedulers * self.fermi.issue_width_per_scheduler:
+                    break
+                if warp.warp_id in issued_warps:
+                    continue
+                if self._eligible(warp, cycle):
+                    self._issue(warp, cycle)
+                    issued += 1
+                    issued_warps.add(warp.warp_id)
+            rr_start += 1
+            if issued == 0:
+                cycle = self._next_interesting_cycle(cycle)
+            else:
+                cycle += 1
+
+        self.stats.cycles = cycle
+        return FermiResult(
+            cycles=cycle, stats=self.stats, memory=self.memory, hierarchy=self.hierarchy
+        )
+
+    def _next_interesting_cycle(self, cycle: int) -> int:
+        """Skip idle cycles directly to the next scoreboard/barrier event."""
+        candidates = []
+        for warp in self._warps:
+            if warp.done or warp.at_barrier:
+                continue
+            candidates.append(warp.next_free)
+            instr = self.program.instructions[warp.pc]
+            candidates.append(self._pipe_free.get(instr.latency_class, 0))
+            for operand in instr.reads:
+                if isinstance(operand, Reg):
+                    candidates.append(warp.reg_ready.get(operand.index, 0))
+                elif isinstance(operand, Pred):
+                    candidates.append(warp.pred_ready.get(operand.index, 0))
+        future = [c for c in candidates if c > cycle]
+        if not future:
+            return cycle + 1
+        return min(future)
+
+    # -------------------------------------------------------------- scheduling
+    def _eligible(self, warp: _Warp, cycle: int) -> bool:
+        if warp.done or warp.at_barrier or warp.next_free > cycle:
+            return False
+        instr = self.program.instructions[warp.pc]
+        if self._pipe_free.get(instr.latency_class, 0) > cycle:
+            return False
+        for operand in instr.reads:
+            if isinstance(operand, Reg) and warp.reg_ready.get(operand.index, 0) > cycle:
+                return False
+            if isinstance(operand, Pred) and warp.pred_ready.get(operand.index, 0) > cycle:
+                return False
+        return True
+
+    def _maybe_release_barrier(self, cycle: int) -> None:
+        active = [w for w in self._warps if not w.done]
+        if active and all(w.at_barrier for w in active):
+            for warp in active:
+                warp.at_barrier = False
+                warp.next_free = cycle + 1
+
+    # ------------------------------------------------------------------- issue
+    def _issue(self, warp: _Warp, cycle: int) -> None:
+        instr = self.program.instructions[warp.pc]
+        warp.pc += 1
+        warp.next_free = cycle + 1
+        dispatch = self.fermi.dispatch_cycles(instr.latency_class)
+        self._pipe_free[instr.latency_class] = cycle + dispatch
+        self.stats.instructions_issued += 1
+
+        mask = self._guard_mask(warp, instr)
+        active_lanes = int(mask.sum())
+        self.stats.instructions_per_lane += active_lanes
+        self.stats.register_reads += active_lanes * sum(
+            1 for s in instr.srcs if isinstance(s, (Reg, Pred))
+        )
+        if instr.dst is not None:
+            self.stats.register_writes += active_lanes
+
+        op = instr.op
+        if op is Op.EXIT:
+            warp.done = True
+            return
+        if op is Op.BAR_SYNC:
+            warp.at_barrier = True
+            self.stats.barrier_arrivals += len(warp.lanes)
+            return
+        if op is Op.BRA:
+            self._execute_branch(warp, instr, mask)
+            return
+        if instr.is_memory:
+            self._execute_memory(warp, instr, mask, cycle)
+            return
+        self._execute_alu(warp, instr, mask, cycle, active_lanes)
+
+    # ---------------------------------------------------------------- operands
+    def _guard_mask(self, warp: _Warp, instr: Instruction) -> np.ndarray:
+        mask = np.ones(len(warp.lanes), dtype=bool)
+        if instr.guard is not None:
+            values = self.predicates[instr.guard.index, warp.lanes]
+            mask = ~values if instr.guard_negated else values.copy()
+        return mask
+
+    def _operand(self, warp: _Warp, operand: Operand) -> np.ndarray:
+        lanes = warp.lanes
+        if isinstance(operand, Reg):
+            return self.registers[operand.index, lanes]
+        if isinstance(operand, Pred):
+            return self.predicates[operand.index, lanes].astype(float)
+        if isinstance(operand, Imm):
+            return np.full(len(lanes), float(operand.value))
+        if isinstance(operand, Special):
+            dims = self.program.geometry.block_dim + (1, 1)
+            table = {
+                Special.TID_X: self._coords[lanes, 0],
+                Special.TID_Y: self._coords[lanes, 1],
+                Special.TID_Z: self._coords[lanes, 2],
+                Special.TID_LINEAR: lanes,
+                Special.NTID_X: np.full(len(lanes), dims[0]),
+                Special.NTID_Y: np.full(len(lanes), dims[1]),
+                Special.NTID_Z: np.full(len(lanes), dims[2]),
+            }
+            return np.asarray(table[operand], dtype=float)
+        raise GpgpuExecutionError(f"unknown operand {operand!r}")
+
+    def _writeback(
+        self, warp: _Warp, dst: Reg | Pred, values: np.ndarray, mask: np.ndarray, ready: int
+    ) -> None:
+        lanes = warp.lanes[mask]
+        if isinstance(dst, Reg):
+            self.registers[dst.index, lanes] = values[mask]
+            warp.reg_ready[dst.index] = ready
+        else:
+            self.predicates[dst.index, lanes] = values[mask].astype(bool)
+            warp.pred_ready[dst.index] = ready
+
+    # --------------------------------------------------------------------- ALU
+    def _execute_alu(
+        self, warp: _Warp, instr: Instruction, mask: np.ndarray, cycle: int, active: int
+    ) -> None:
+        op = instr.op
+        srcs = [self._operand(warp, s) for s in instr.srcs]
+        if instr.latency_class == "sfu":
+            latency = self.fermi.sfu_latency
+            self.stats.special_ops += active
+        else:
+            latency = self.fermi.alu_latency
+            self.stats.alu_ops += active
+
+        values = self._alu_result(op, srcs)
+        if instr.dst is not None:
+            self._writeback(warp, instr.dst, values, mask, cycle + latency)
+
+    def _alu_result(self, op: Op, srcs: list[np.ndarray]) -> np.ndarray:
+        a = srcs[0] if srcs else None
+        b = srcs[1] if len(srcs) > 1 else None
+        c = srcs[2] if len(srcs) > 2 else None
+        if op is Op.MOV:
+            return a.copy()
+        if op is Op.ADD:
+            return a + b
+        if op is Op.SUB:
+            return a - b
+        if op is Op.MUL:
+            return a * b
+        if op is Op.DIV:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return np.where(b != 0, a / np.where(b == 0, 1, b), np.inf)
+        if op is Op.MOD:
+            return np.where(b != 0, np.fmod(a, np.where(b == 0, 1, b)), 0.0)
+        if op is Op.MIN:
+            return np.minimum(a, b)
+        if op is Op.MAX:
+            return np.maximum(a, b)
+        if op in (Op.FMA, Op.MAD):
+            return a * b + c
+        if op is Op.NEG:
+            return -a
+        if op is Op.ABS:
+            return np.abs(a)
+        if op is Op.AND:
+            return (a.astype(np.int64) & b.astype(np.int64)).astype(float)
+        if op is Op.OR:
+            return (a.astype(np.int64) | b.astype(np.int64)).astype(float)
+        if op is Op.XOR:
+            return (a.astype(np.int64) ^ b.astype(np.int64)).astype(float)
+        if op is Op.SHL:
+            return (a.astype(np.int64) << b.astype(np.int64)).astype(float)
+        if op is Op.SHR:
+            return (a.astype(np.int64) >> b.astype(np.int64)).astype(float)
+        if op is Op.SQRT:
+            return np.sqrt(np.maximum(a, 0.0))
+        if op is Op.RSQRT:
+            return 1.0 / np.sqrt(np.maximum(a, 1e-30))
+        if op is Op.EXP:
+            return np.exp(a)
+        if op is Op.LOG:
+            return np.log(np.maximum(a, 1e-30))
+        if op is Op.RCP:
+            return np.where(a != 0, 1.0 / np.where(a == 0, 1, a), np.inf)
+        if op is Op.SETP_LT:
+            return (a < b).astype(float)
+        if op is Op.SETP_LE:
+            return (a <= b).astype(float)
+        if op is Op.SETP_GT:
+            return (a > b).astype(float)
+        if op is Op.SETP_GE:
+            return (a >= b).astype(float)
+        if op is Op.SETP_EQ:
+            return (a == b).astype(float)
+        if op is Op.SETP_NE:
+            return (a != b).astype(float)
+        if op is Op.PAND:
+            return ((a != 0) & (b != 0)).astype(float)
+        if op is Op.POR:
+            return ((a != 0) | (b != 0)).astype(float)
+        if op is Op.PNOT:
+            return (a == 0).astype(float)
+        if op is Op.SEL:
+            return np.where(a != 0, b, c)
+        raise GpgpuExecutionError(f"unhandled ALU opcode {op.value}")
+
+    # ------------------------------------------------------------------ memory
+    def _execute_memory(
+        self, warp: _Warp, instr: Instruction, mask: np.ndarray, cycle: int
+    ) -> None:
+        op = instr.op
+        spec = self.program.arrays.get(instr.array)
+        indices = self._operand(warp, instr.srcs[0]).astype(np.int64)
+        lanes = warp.lanes
+
+        if op in (Op.LD_SHARED, Op.ST_SHARED):
+            addresses = [
+                spec.base_address + int(idx) * spec.elem_bytes
+                for idx, active in zip(indices, mask)
+                if active
+            ]
+            complete = self.hierarchy.scratch_access_group(
+                addresses, op is Op.ST_SHARED, cycle
+            )
+            if op is Op.ST_SHARED:
+                values = self._operand(warp, instr.srcs[1])
+                for idx, value, active in zip(indices, values, mask):
+                    if active:
+                        self.memory.store(instr.array, int(idx), float(value))
+                self.stats.scratch_stores += int(mask.sum())
+            else:
+                loaded = np.zeros(len(lanes))
+                for i, (idx, active) in enumerate(zip(indices, mask)):
+                    if active:
+                        loaded[i] = self.memory.load(instr.array, int(idx))
+                self.stats.scratch_loads += int(mask.sum())
+                self._writeback(warp, instr.dst, loaded, mask, complete)
+            return
+
+        # Global memory: coalesce the active lanes into line transactions.
+        addresses = [
+            spec.base_address + int(idx) * spec.elem_bytes if active else None
+            for idx, active in zip(indices, mask)
+        ]
+        access = AccessType.STORE if op is Op.ST_GLOBAL else AccessType.LOAD
+        complete, transactions = self.hierarchy.access_group(addresses, access, cycle)
+        self.stats.extra["global_transactions"] = (
+            self.stats.extra.get("global_transactions", 0) + transactions
+        )
+        if op is Op.ST_GLOBAL:
+            values = self._operand(warp, instr.srcs[1])
+            for idx, value, active in zip(indices, values, mask):
+                if active:
+                    self.memory.store(instr.array, int(idx), float(value))
+            self.stats.global_stores += int(mask.sum())
+        else:
+            loaded = np.zeros(len(lanes))
+            for i, (idx, active) in enumerate(zip(indices, mask)):
+                if active:
+                    loaded[i] = self.memory.load(instr.array, int(idx))
+            self.stats.global_loads += int(mask.sum())
+            self._writeback(warp, instr.dst, loaded, mask, complete)
+
+    # ----------------------------------------------------------------- control
+    def _execute_branch(self, warp: _Warp, instr: Instruction, mask: np.ndarray) -> None:
+        taken_mask = mask
+        if instr.guard is None:
+            taken = True
+        else:
+            values = taken_mask
+            if not (values.all() or (~values).all()):
+                raise GpgpuExecutionError(
+                    f"divergent branch at pc {warp.pc - 1} in '{self.program.name}'; "
+                    "baseline kernels must use predication for lane-divergent control"
+                )
+            taken = bool(values.all())
+        if taken:
+            warp.pc = self.program.labels[instr.target]
+
+
+def run_fermi(
+    program: SimtProgram,
+    inputs: Mapping[str, np.ndarray] | None = None,
+    config: SystemConfig | None = None,
+) -> FermiResult:
+    """Convenience wrapper: run ``program`` on the Fermi baseline model."""
+    return FermiSimulator(program, inputs=inputs, config=config).run()

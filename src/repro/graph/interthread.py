@@ -1,0 +1,140 @@
+"""Shared semantics of inter-thread communication nodes.
+
+Both the functional interpreter and the cycle-level simulator must agree
+on *which* thread a value travels from/to; this module is the single
+source of truth for that question.
+
+Conventions
+-----------
+* Thread IDs are linearised CUDA-style: ``tid = x + y*dim_x + z*dim_x*dim_y``.
+* An ``ELEVATOR`` node stores the **hardware shift** ``delta``:
+  the token produced by thread ``p`` is re-tagged to thread ``p + delta``;
+  equivalently, consumer thread ``c`` receives the value produced by
+  thread ``c - delta``.  The programmer-facing API of Table 1 instead
+  specifies the *source offset* (``fromThreadOrConst<var, -1, 0>`` reads
+  from thread ``tid - 1``); the kernel builder converts between the two.
+* ``src_offset`` (optional, a coordinate tuple) preserves the multi-
+  dimensional offset so that boundary conditions are evaluated per
+  dimension, exactly like the coordinate arithmetic in the paper's
+  matrix-multiplication example (Fig. 2b / Fig. 3).
+* ``window`` bounds the transmission window (Sec. 3.2): the thread block
+  is partitioned into consecutive groups of ``window`` linear TIDs and
+  communication never crosses a group boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import GraphError
+from repro.graph.node import Node
+
+__all__ = [
+    "linearize",
+    "unlinearize",
+    "linear_offset",
+    "same_window",
+    "elevator_source",
+    "elevator_destination",
+    "eldst_source",
+]
+
+
+def _normalize_dims(block_dim: Sequence[int]) -> tuple[int, int, int]:
+    dims = tuple(int(d) for d in block_dim)
+    if not 1 <= len(dims) <= 3:
+        raise GraphError("block_dim must have between 1 and 3 dimensions")
+    if any(d <= 0 for d in dims):
+        raise GraphError("block dimensions must be positive")
+    return dims + (1,) * (3 - len(dims))
+
+
+def linearize(coord: Sequence[int], block_dim: Sequence[int]) -> int:
+    """Linearise a (x[, y[, z]]) coordinate into a flat thread ID."""
+    dx, dy, _ = _normalize_dims(block_dim)
+    c = tuple(int(v) for v in coord) + (0,) * (3 - len(coord))
+    return c[0] + c[1] * dx + c[2] * dx * dy
+
+
+def unlinearize(tid: int, block_dim: Sequence[int]) -> tuple[int, int, int]:
+    """Convert a flat thread ID back into a 3-component coordinate."""
+    dx, dy, _ = _normalize_dims(block_dim)
+    x = tid % dx
+    y = (tid // dx) % dy
+    z = tid // (dx * dy)
+    return (x, y, z)
+
+
+def linear_offset(offset: Sequence[int] | int, block_dim: Sequence[int]) -> int:
+    """Linearise a multi-dimensional thread-ID offset."""
+    if isinstance(offset, int):
+        return offset
+    dx, dy, _ = _normalize_dims(block_dim)
+    o = tuple(int(v) for v in offset) + (0,) * (3 - len(tuple(offset)))
+    return o[0] + o[1] * dx + o[2] * dx * dy
+
+
+def same_window(tid_a: int, tid_b: int, window: Optional[int]) -> bool:
+    """True if both linear TIDs fall in the same transmission window."""
+    if window is None:
+        return True
+    return (tid_a // window) == (tid_b // window)
+
+
+def _coord_source(
+    consumer: int, src_offset: Sequence[int], block_dim: Sequence[int]
+) -> Optional[int]:
+    dims = _normalize_dims(block_dim)
+    coord = unlinearize(consumer, block_dim)
+    off = tuple(int(v) for v in src_offset) + (0,) * (3 - len(tuple(src_offset)))
+    src = tuple(c + o for c, o in zip(coord, off))
+    if any(s < 0 or s >= d for s, d in zip(src, dims)):
+        return None
+    return linearize(src, block_dim)
+
+
+def elevator_source(
+    node: Node, consumer_tid: int, block_dim: Sequence[int], num_threads: int
+) -> Optional[int]:
+    """Return the producer TID for ``consumer_tid``, or None for the fallback constant."""
+    window = node.param("window")
+    src_offset = node.param("src_offset")
+    if src_offset is not None:
+        src = _coord_source(consumer_tid, src_offset, block_dim)
+    else:
+        src = consumer_tid - int(node.param("delta"))
+    if src is None or src < 0 or src >= num_threads:
+        return None
+    if not same_window(src, consumer_tid, window):
+        return None
+    return src
+
+
+def elevator_destination(
+    node: Node, producer_tid: int, block_dim: Sequence[int], num_threads: int
+) -> Optional[int]:
+    """Return the consumer TID that receives producer ``producer_tid``'s token."""
+    window = node.param("window")
+    src_offset = node.param("src_offset")
+    if src_offset is not None:
+        dst = _coord_source(producer_tid, [-v for v in src_offset], block_dim)
+    else:
+        dst = producer_tid + int(node.param("delta"))
+    if dst is None or dst < 0 or dst >= num_threads:
+        return None
+    if not same_window(producer_tid, dst, window):
+        return None
+    return dst
+
+
+def eldst_source(
+    node: Node, consumer_tid: int, block_dim: Sequence[int], num_threads: int
+) -> Optional[int]:
+    """Return the TID whose loaded value is forwarded to ``consumer_tid``.
+
+    ``None`` means the thread must fall back to issuing its own memory load
+    (this matches the paper's requirement that the predicate selects the
+    loading threads; a forwarding thread with an out-of-window source would
+    otherwise deadlock).
+    """
+    return elevator_source(node, consumer_tid, block_dim, num_threads)

@@ -1,0 +1,190 @@
+"""Operational semantics of dataflow opcodes.
+
+Both the functional interpreter and the cycle-level simulator evaluate
+node results through :func:`evaluate_pure`, so they cannot diverge on the
+meaning of an opcode.  Memory and inter-thread opcodes are *not* handled
+here — they interact with the memory hierarchy / token retagging machinery
+and are implemented by the simulators themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.graph.node import Node
+from repro.graph.opcodes import DType, Opcode
+
+__all__ = ["evaluate_pure", "PURE_OPCODES", "coerce", "python_value"]
+
+#: Opcodes whose result depends only on their operand values.
+PURE_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.MIN,
+        Opcode.MAX,
+        Opcode.ABS,
+        Opcode.NEG,
+        Opcode.FMA,
+        Opcode.SQRT,
+        Opcode.RSQRT,
+        Opcode.EXP,
+        Opcode.LOG,
+        Opcode.RCP,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.NOT,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.LT,
+        Opcode.LE,
+        Opcode.GT,
+        Opcode.GE,
+        Opcode.EQ,
+        Opcode.NE,
+        Opcode.LAND,
+        Opcode.LOR,
+        Opcode.LNOT,
+        Opcode.SELECT,
+        Opcode.SPLIT,
+        Opcode.JOIN,
+    }
+)
+
+_INT_MASK = 0xFFFFFFFF
+
+
+def _as_u32(value: int) -> int:
+    return int(value) & _INT_MASK
+
+
+def coerce(value: float | int | bool, dtype: DType) -> float | int | bool:
+    """Coerce ``value`` to the Python representation of ``dtype``."""
+    if dtype is DType.F32:
+        return float(value)
+    if dtype is DType.BOOL:
+        return bool(value)
+    return int(value)
+
+
+def python_value(value: float | int | bool) -> float | int | bool:
+    """Normalise numpy scalars to plain Python values."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        raise SimulationError("integer division by zero in kernel graph")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise SimulationError("integer modulo by zero in kernel graph")
+    return a - _int_div(a, b) * b
+
+
+def evaluate_pure(node: Node, operands: Sequence[float | int | bool]):
+    """Evaluate a pure opcode on concrete operand values.
+
+    Integer arithmetic uses C-style truncating division/modulo; bitwise
+    operations interpret operands as 32-bit values.  Comparisons produce
+    Python booleans.
+    """
+    op = node.opcode
+    dt = node.dtype
+    if op not in PURE_OPCODES:
+        raise SimulationError(f"{op.value} is not a pure opcode")
+
+    a = operands[0] if operands else None
+    b = operands[1] if len(operands) > 1 else None
+    c = operands[2] if len(operands) > 2 else None
+
+    if op is Opcode.ADD:
+        return coerce(a + b, dt)
+    if op is Opcode.SUB:
+        return coerce(a - b, dt)
+    if op is Opcode.MUL:
+        return coerce(a * b, dt)
+    if op is Opcode.DIV:
+        if dt.is_float:
+            if b == 0:
+                return math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+            return float(a) / float(b)
+        return _int_div(int(a), int(b))
+    if op is Opcode.MOD:
+        if dt.is_float:
+            return math.fmod(float(a), float(b))
+        return _int_mod(int(a), int(b))
+    if op is Opcode.MIN:
+        return coerce(min(a, b), dt)
+    if op is Opcode.MAX:
+        return coerce(max(a, b), dt)
+    if op is Opcode.ABS:
+        return coerce(abs(a), dt)
+    if op is Opcode.NEG:
+        return coerce(-a, dt)
+    if op is Opcode.FMA:
+        return coerce(a * b + c, dt)
+
+    if op is Opcode.SQRT:
+        return float(math.sqrt(a)) if a >= 0 else math.nan
+    if op is Opcode.RSQRT:
+        return float(1.0 / math.sqrt(a)) if a > 0 else math.inf
+    if op is Opcode.EXP:
+        return float(math.exp(a))
+    if op is Opcode.LOG:
+        return float(math.log(a)) if a > 0 else -math.inf
+    if op is Opcode.RCP:
+        return float(1.0 / a) if a != 0 else math.inf
+
+    if op is Opcode.AND:
+        return coerce(_as_u32(a) & _as_u32(b), dt)
+    if op is Opcode.OR:
+        return coerce(_as_u32(a) | _as_u32(b), dt)
+    if op is Opcode.XOR:
+        return coerce(_as_u32(a) ^ _as_u32(b), dt)
+    if op is Opcode.NOT:
+        return coerce(_as_u32(~_as_u32(a)), dt)
+    if op is Opcode.SHL:
+        return coerce(_as_u32(_as_u32(a) << (int(b) & 31)), dt)
+    if op is Opcode.SHR:
+        return coerce(_as_u32(a) >> (int(b) & 31), dt)
+
+    if op is Opcode.LT:
+        return a < b
+    if op is Opcode.LE:
+        return a <= b
+    if op is Opcode.GT:
+        return a > b
+    if op is Opcode.GE:
+        return a >= b
+    if op is Opcode.EQ:
+        return a == b
+    if op is Opcode.NE:
+        return a != b
+    if op is Opcode.LAND:
+        return bool(a) and bool(b)
+    if op is Opcode.LOR:
+        return bool(a) or bool(b)
+    if op is Opcode.LNOT:
+        return not bool(a)
+
+    if op is Opcode.SELECT:
+        return coerce(b if bool(a) else c, dt)
+    if op is Opcode.SPLIT:
+        return a
+    if op is Opcode.JOIN:
+        # JOIN forwards operand 0 but synchronises on both operands.
+        return a
+
+    raise SimulationError(f"unhandled pure opcode {op.value}")  # pragma: no cover

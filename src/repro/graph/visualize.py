@@ -1,0 +1,80 @@
+"""Graph export helpers (DOT and networkx) for debugging and documentation."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graph.dfg import DataflowGraph
+from repro.graph.opcodes import Opcode, UnitClass
+
+__all__ = ["to_networkx", "to_dot"]
+
+_CLASS_COLORS = {
+    UnitClass.ALU: "lightblue",
+    UnitClass.FPU: "lightskyblue",
+    UnitClass.SPECIAL: "plum",
+    UnitClass.LDST: "lightsalmon",
+    UnitClass.ELDST: "orange",
+    UnitClass.CONTROL: "palegreen",
+    UnitClass.ELEVATOR: "gold",
+    UnitClass.SPLIT_JOIN: "lightgrey",
+    UnitClass.SOURCE: "white",
+    UnitClass.SINK: "grey80",
+    UnitClass.BARRIER: "tomato",
+}
+
+
+def to_networkx(graph: DataflowGraph) -> nx.MultiDiGraph:
+    """Convert a dataflow graph to a :class:`networkx.MultiDiGraph`."""
+    g = nx.MultiDiGraph(name=graph.name)
+    for node in graph.nodes:
+        g.add_node(
+            node.node_id,
+            opcode=node.opcode.value,
+            dtype=node.dtype.value,
+            unit_class=node.unit_class.value,
+            label=node.label(),
+            **{f"param_{k}": v for k, v in node.params.items()},
+        )
+    for edge in graph.edges():
+        temporal = graph.node(edge.dst).opcode is Opcode.ELEVATOR
+        g.add_edge(edge.src, edge.dst, port=edge.dst_port, temporal=temporal)
+    return g
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def to_dot(graph: DataflowGraph) -> str:
+    """Render the graph in Graphviz DOT format.
+
+    Temporal edges (inter-thread communication through elevator nodes) are
+    drawn dashed, mirroring the paper's figures.
+    """
+    lines = [f'digraph "{_dot_escape(graph.name)}" {{', "  rankdir=TB;"]
+    for node in sorted(graph.nodes, key=lambda n: n.node_id):
+        color = _CLASS_COLORS.get(node.unit_class, "white")
+        extra = ""
+        if node.opcode is Opcode.ELEVATOR:
+            extra = f"\\nΔ={node.param('delta')} C={node.param('const')}"
+            if node.param("window"):
+                extra += f" win={node.param('window')}"
+        elif node.opcode is Opcode.ELDST:
+            extra = f"\\nΔ={node.param('delta')} array={node.param('array')}"
+        elif node.opcode is Opcode.CONST:
+            extra = f"\\n{node.param('value')}"
+        elif node.param("array"):
+            extra = f"\\n{node.param('array')}"
+        lines.append(
+            f'  n{node.node_id} [label="{_dot_escape(node.label() + extra)}", '
+            f'style=filled, fillcolor={color}, shape=box];'
+        )
+    for edge in graph.edges():
+        style = "dashed" if graph.node(edge.dst).opcode is Opcode.ELEVATOR else "solid"
+        lines.append(
+            f"  n{edge.src} -> n{edge.dst} "
+            f'[label="{edge.dst_port}", style={style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

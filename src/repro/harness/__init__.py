@@ -1,0 +1,33 @@
+"""Experiment orchestration and figure/table regeneration."""
+
+from repro.harness.experiments import (
+    RunResult,
+    compare_architectures,
+    run_suite,
+    run_workload,
+)
+from repro.harness.figures import (
+    BENCHMARK_SUITE_PARAMS,
+    DEFAULT_SUITE_PARAMS,
+    FigureResult,
+    figure5,
+    figure11,
+    figure12,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "BENCHMARK_SUITE_PARAMS",
+    "DEFAULT_SUITE_PARAMS",
+    "FigureResult",
+    "RunResult",
+    "compare_architectures",
+    "figure5",
+    "figure11",
+    "figure12",
+    "run_suite",
+    "run_workload",
+    "table2",
+    "table3",
+]

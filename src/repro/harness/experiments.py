@@ -1,0 +1,176 @@
+"""End-to-end experiment orchestration.
+
+This module glues the whole pipeline together the way the paper's
+methodology does (Sec. 5.1): instantiate a workload, run it on one of the
+three architectures, verify the results against the NumPy reference,
+collect the execution counters and convert them into energy.  The figure
+generators in :mod:`repro.harness.figures` and the benchmark suite are thin
+wrappers around these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.comparison import ArchitectureComparison, ComparisonTable
+from repro.compiler.pipeline import CompiledKernel, CompilerOptions, compile_kernel
+from repro.config.system import SystemConfig, default_system_config
+from repro.errors import WorkloadError
+from repro.gpgpu.simulator import run_fermi
+from repro.power.model import EnergyBreakdown, cgra_energy, fermi_energy
+from repro.power.tables import EnergyTable
+from repro.sim.cycle import run_cycle_accurate
+from repro.workloads.base import ARCHITECTURES, PreparedWorkload, Workload
+from repro.workloads.registry import all_workloads, get_workload
+
+__all__ = ["RunResult", "run_workload", "compare_architectures", "run_suite"]
+
+
+@dataclass
+class RunResult:
+    """One (workload, architecture) execution."""
+
+    workload: str
+    architecture: str
+    cycles: int
+    counters: dict[str, int | float]
+    energy: EnergyBreakdown
+    outputs: dict[str, np.ndarray]
+    compiled: CompiledKernel | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total_pj
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload:<12} {self.architecture:<6} "
+            f"cycles={self.cycles:<8} energy={self.energy.total_uj:.2f} uJ"
+        )
+
+
+def _resolve(workload: Workload | str) -> Workload:
+    if isinstance(workload, str):
+        return get_workload(workload)
+    return workload
+
+
+def _outputs_from_memory(prepared: PreparedWorkload, memory) -> dict[str, np.ndarray]:
+    return {name: memory.array(name).copy() for name in prepared.expected}
+
+
+def run_workload(
+    workload: Workload | str,
+    architecture: str,
+    params: Mapping[str, Any] | None = None,
+    seed: int = 0,
+    config: SystemConfig | None = None,
+    energy_table: EnergyTable | None = None,
+    check: bool = True,
+    compiler_options: CompilerOptions | None = None,
+) -> RunResult:
+    """Run one workload on one architecture and return cycles/energy/outputs."""
+    if architecture not in ARCHITECTURES:
+        raise WorkloadError(
+            f"unknown architecture '{architecture}'; expected one of {ARCHITECTURES}"
+        )
+    config = config or default_system_config()
+    resolved = _resolve(workload)
+    prepared = resolved.prepare(params, seed=seed)
+
+    if architecture == "fermi":
+        program = prepared.fermi_program()
+        result = run_fermi(program, prepared.fermi_inputs(), config=config)
+        counters = result.counters()
+        energy = fermi_energy(counters, config, energy_table)
+        outputs = _outputs_from_memory(prepared, result.memory)
+        compiled = None
+        cycles = result.cycles
+    else:
+        launch = prepared.launch(architecture)
+        compiled = compile_kernel(launch.graph, config, compiler_options)
+        result = run_cycle_accurate(compiled, launch)
+        counters = result.counters()
+        energy = cgra_energy(
+            counters,
+            config,
+            energy_table,
+            configured_units=len(compiled.mapping.placement.node_to_unit)
+            if compiled.mapping
+            else None,
+        )
+        outputs = _outputs_from_memory(prepared, result.memory)
+        cycles = result.cycles
+
+    if check:
+        prepared.check_outputs(outputs)
+
+    return RunResult(
+        workload=resolved.name,
+        architecture=architecture,
+        cycles=cycles,
+        counters=dict(counters),
+        energy=energy,
+        outputs=outputs,
+        compiled=compiled,
+        params=prepared.params,
+    )
+
+
+def compare_architectures(
+    workload: Workload | str,
+    params: Mapping[str, Any] | None = None,
+    seed: int = 0,
+    config: SystemConfig | None = None,
+    energy_table: EnergyTable | None = None,
+    architectures: Sequence[str] = ARCHITECTURES,
+    check: bool = True,
+) -> dict[str, RunResult]:
+    """Run one workload on every requested architecture."""
+    return {
+        architecture: run_workload(
+            workload,
+            architecture,
+            params=params,
+            seed=seed,
+            config=config,
+            energy_table=energy_table,
+            check=check,
+        )
+        for architecture in architectures
+    }
+
+
+def run_suite(
+    workloads: Sequence[Workload | str] | None = None,
+    params: Mapping[str, Mapping[str, Any]] | None = None,
+    seed: int = 0,
+    config: SystemConfig | None = None,
+    energy_table: EnergyTable | None = None,
+    check: bool = True,
+) -> ComparisonTable:
+    """Run the full Table 3 suite on all three architectures (Figs. 11/12)."""
+    table = ComparisonTable()
+    selected = [_resolve(w) for w in (workloads or all_workloads())]
+    for workload in selected:
+        overrides = (params or {}).get(workload.name)
+        results = compare_architectures(
+            workload,
+            params=overrides,
+            seed=seed,
+            config=config,
+            energy_table=energy_table,
+            check=check,
+        )
+        table.add(
+            ArchitectureComparison(
+                workload=workload.name,
+                cycles={arch: r.cycles for arch, r in results.items()},
+                energy_pj={arch: r.energy_pj for arch, r in results.items()},
+            )
+        )
+    return table

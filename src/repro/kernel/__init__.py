@@ -1,0 +1,15 @@
+"""Kernel programming model: CUDA-style kernels plus the Table 1 API."""
+
+from repro.kernel.arrays import ArraySpec, ArrayTable, MemorySpace
+from repro.kernel.builder import KernelBuilder
+from repro.kernel.geometry import ThreadGeometry
+from repro.kernel.values import Value
+
+__all__ = [
+    "ArraySpec",
+    "ArrayTable",
+    "MemorySpace",
+    "KernelBuilder",
+    "ThreadGeometry",
+    "Value",
+]

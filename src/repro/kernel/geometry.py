@@ -1,0 +1,62 @@
+"""Thread-block geometry (CUDA-style multi-dimensional thread IDs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import KernelBuildError
+from repro.graph.interthread import linear_offset, linearize, unlinearize
+
+__all__ = ["ThreadGeometry"]
+
+
+@dataclass(frozen=True)
+class ThreadGeometry:
+    """The shape of the thread block a kernel is launched with.
+
+    The paper evaluates one thread block per core (as one CUDA thread block
+    maps to one SM / one MT-CGRA core); the geometry therefore fully
+    describes the TID space visible to the inter-thread communication
+    primitives.
+    """
+
+    block_dim: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        dims = tuple(int(d) for d in self.block_dim)
+        if not 1 <= len(dims) <= 3:
+            raise KernelBuildError("block_dim must have 1 to 3 dimensions")
+        if any(d <= 0 for d in dims):
+            raise KernelBuildError("block dimensions must be positive")
+        object.__setattr__(self, "block_dim", dims)
+
+    @property
+    def num_threads(self) -> int:
+        n = 1
+        for d in self.block_dim:
+            n *= d
+        return n
+
+    @property
+    def dims(self) -> int:
+        return len(self.block_dim)
+
+    def linearize(self, coord: Sequence[int]) -> int:
+        return linearize(coord, self.block_dim)
+
+    def unlinearize(self, tid: int) -> tuple[int, int, int]:
+        return unlinearize(tid, self.block_dim)
+
+    def linear_offset(self, offset: Sequence[int] | int) -> int:
+        return linear_offset(offset, self.block_dim)
+
+    def coordinates(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate thread coordinates in linear TID order."""
+        for tid in range(self.num_threads):
+            yield self.unlinearize(tid)
+
+    def contains(self, coord: Sequence[int]) -> bool:
+        padded = tuple(int(v) for v in coord) + (0,) * (3 - len(tuple(coord)))
+        dims = self.block_dim + (1,) * (3 - len(self.block_dim))
+        return all(0 <= c < d for c, d in zip(padded, dims))

@@ -1,0 +1,28 @@
+"""Memory hierarchy models: caches, DRAM, scratchpad, coalescer, image."""
+
+from repro.memory.cache import CacheStats, SetAssociativeCache
+from repro.memory.coalescer import Transaction, coalesce, coalescing_efficiency
+from repro.memory.dram import DramModel, DramStats
+from repro.memory.hierarchy import HierarchyStats, MemoryHierarchy
+from repro.memory.image import MemoryImage
+from repro.memory.request import AccessResult, AccessType, HitLevel, MemoryRequest
+from repro.memory.scratchpad import Scratchpad, ScratchpadStats
+
+__all__ = [
+    "AccessResult",
+    "AccessType",
+    "CacheStats",
+    "DramModel",
+    "DramStats",
+    "HierarchyStats",
+    "HitLevel",
+    "MemoryHierarchy",
+    "MemoryImage",
+    "MemoryRequest",
+    "Scratchpad",
+    "ScratchpadStats",
+    "SetAssociativeCache",
+    "Transaction",
+    "coalesce",
+    "coalescing_efficiency",
+]

@@ -1,0 +1,252 @@
+"""Set-associative cache timing model with banks, LRU replacement and MSHRs.
+
+The model tracks tags only (data lives in :class:`repro.memory.image.MemoryImage`).
+It answers "at which cycle does this access complete, and which level
+serviced it" while recording the statistics the power model needs
+(hits/misses/writebacks per level).
+
+Two policies from the paper are supported:
+
+* write-back + write-allocate (the CGRA cores, Table 2), and
+* write-through + write-no-allocate (the Fermi baseline L1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.config.system import CacheConfig
+from repro.errors import MemoryModelError
+from repro.memory.request import AccessType
+
+__all__ = ["CacheStats", "CacheLine", "SetAssociativeCache"]
+
+
+@dataclass
+class CacheStats:
+    """Event counters of one cache level."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+    mshr_merges: int = 0
+    bank_conflict_cycles: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "read_hits": self.read_hits,
+            "read_misses": self.read_misses,
+            "write_hits": self.write_hits,
+            "write_misses": self.write_misses,
+            "writebacks": self.writebacks,
+            "mshr_merges": self.mshr_merges,
+            "bank_conflict_cycles": self.bank_conflict_cycles,
+        }
+
+
+@dataclass
+class CacheLine:
+    """One tag-array entry."""
+
+    tag: int = -1
+    valid: bool = False
+    dirty: bool = False
+    last_use: int = 0
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache level.
+
+    Parameters
+    ----------
+    config:
+        Geometry, latency and policy of the level.
+    next_level_access:
+        Callable ``(line_address, is_write, cycle) -> complete_cycle`` used
+        on misses (and write-throughs / writebacks).  ``None`` models a
+        cache backed by an ideal memory that responds immediately.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        next_level_access: Optional[Callable[[int, bool, int], int]] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.next_level_access = next_level_access
+        self.stats = CacheStats()
+        self._sets: list[list[CacheLine]] = [
+            [CacheLine() for _ in range(config.ways)] for _ in range(config.num_sets)
+        ]
+        self._bank_free_at: list[int] = [0] * config.banks
+        # Outstanding misses: line address -> cycle at which the fill completes.
+        self._mshr: dict[int, int] = {}
+        self._access_counter = 0
+
+    # ------------------------------------------------------------------ helpers
+    def line_address(self, address: int) -> int:
+        return address - (address % self.config.line_bytes)
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.config.line_bytes) % self.config.num_sets
+
+    def _tag(self, line_addr: int) -> int:
+        return line_addr // (self.config.line_bytes * self.config.num_sets)
+
+    def _bank_index(self, line_addr: int) -> int:
+        return (line_addr // self.config.line_bytes) % self.config.banks
+
+    def _lookup(self, line_addr: int) -> Optional[CacheLine]:
+        cset = self._sets[self._set_index(line_addr)]
+        tag = self._tag(line_addr)
+        for line in cset:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def _victim(self, line_addr: int) -> CacheLine:
+        cset = self._sets[self._set_index(line_addr)]
+        for line in cset:
+            if not line.valid:
+                return line
+        return min(cset, key=lambda line: line.last_use)
+
+    def _bank_ready(self, line_addr: int, cycle: int) -> int:
+        """Account for bank contention; return the cycle the bank accepts us."""
+        bank = self._bank_index(line_addr)
+        start = max(cycle, self._bank_free_at[bank])
+        self.stats.bank_conflict_cycles += start - cycle
+        self._bank_free_at[bank] = start + 1
+        return start
+
+    # ------------------------------------------------------------------ access
+    def access(self, address: int, access: AccessType, cycle: int) -> int:
+        """Perform one access; return the absolute completion cycle."""
+        if cycle < 0:
+            raise MemoryModelError("access cycle must be non-negative")
+        self._access_counter += 1
+        line_addr = self.line_address(address)
+        start = self._bank_ready(line_addr, cycle)
+        line = self._lookup(line_addr)
+        is_write = access is AccessType.STORE
+
+        if line is not None:
+            line.last_use = self._access_counter
+            # A "hit" on a line whose fill is still outstanding merges into the
+            # MSHR entry and completes when the fill returns.
+            outstanding = self._mshr.get(line_addr)
+            pending_fill = outstanding is not None and outstanding > start
+            if pending_fill:
+                self.stats.mshr_merges += 1
+            if is_write:
+                self.stats.write_hits += 1
+                if self.config.write_back:
+                    line.dirty = True
+                    complete = start + self.config.hit_latency
+                    return max(complete, outstanding) if pending_fill else complete
+                # write-through: forward the write below
+                complete = start + self.config.hit_latency
+                if self.next_level_access is not None:
+                    complete = max(
+                        complete, self.next_level_access(line_addr, True, start)
+                    )
+                return complete
+            self.stats.read_hits += 1
+            complete = start + self.config.hit_latency
+            return max(complete, outstanding) if pending_fill else complete
+
+        # ------------------------------------------------------------- miss path
+        if is_write:
+            self.stats.write_misses += 1
+            if not self.config.write_allocate:
+                # write-no-allocate: the write goes straight to the next level.
+                if self.next_level_access is not None:
+                    return max(
+                        start + self.config.hit_latency,
+                        self.next_level_access(line_addr, True, start),
+                    )
+                return start + self.config.hit_latency
+        else:
+            self.stats.read_misses += 1
+
+        # MSHR merge: an outstanding fill of the same line absorbs this miss.
+        outstanding = self._mshr.get(line_addr)
+        if outstanding is not None and outstanding > start:
+            self.stats.mshr_merges += 1
+            fill_complete = outstanding
+        else:
+            fill_complete = start + self.config.hit_latency
+            if self.next_level_access is not None:
+                fill_complete = max(
+                    fill_complete, self.next_level_access(line_addr, False, start)
+                )
+            self._mshr[line_addr] = fill_complete
+            if len(self._mshr) > 4 * self.config.mshr_entries:
+                self._prune_mshr(start)
+
+        self._fill(line_addr, dirty=is_write and self.config.write_allocate, cycle=start)
+        return fill_complete
+
+    def _fill(self, line_addr: int, dirty: bool, cycle: int) -> None:
+        victim = self._victim(line_addr)
+        if victim.valid and victim.dirty:
+            self.stats.writebacks += 1
+            if self.next_level_access is not None:
+                victim_addr = self._reconstruct_address(victim)
+                self.next_level_access(victim_addr, True, cycle)
+        victim.tag = self._tag(line_addr)
+        victim.valid = True
+        victim.dirty = dirty
+        victim.last_use = self._access_counter
+
+    def _reconstruct_address(self, line: CacheLine) -> int:
+        # Any address within the victim line is fine for the timing model.
+        return line.tag * self.config.line_bytes * self.config.num_sets
+
+    def _prune_mshr(self, cycle: int) -> None:
+        self._mshr = {addr: t for addr, t in self._mshr.items() if t > cycle}
+
+    # ------------------------------------------------------------------ queries
+    def contains(self, address: int) -> bool:
+        """True if the line holding ``address`` is currently resident."""
+        return self._lookup(self.line_address(address)) is not None
+
+    def flush(self) -> int:
+        """Invalidate every line; return the number of dirty lines written back."""
+        dirty = 0
+        for cset in self._sets:
+            for line in cset:
+                if line.valid and line.dirty:
+                    dirty += 1
+                    self.stats.writebacks += 1
+                line.valid = False
+                line.dirty = False
+                line.tag = -1
+        self._mshr.clear()
+        return dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache({self.config.name}, sets={self.config.num_sets}, "
+            f"ways={self.config.ways}, accesses={self.stats.accesses})"
+        )

@@ -1,0 +1,144 @@
+"""The assembled memory hierarchy: L1 -> L2 -> DRAM (+ scratchpad).
+
+One :class:`MemoryHierarchy` instance is shared by a whole simulated core.
+It offers scalar accesses (used by the CGRA load/store units, one token at
+a time) and coalesced group accesses (used by the Fermi SIMT core, one
+warp at a time), both returning absolute completion cycles.
+
+The CGRA cores use a write-back / write-allocate L1 while the Fermi
+baseline uses write-through / write-no-allocate, exactly as stated in the
+paper's methodology; the policy difference is injected through the
+:class:`repro.config.system.CacheConfig` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.config.system import MemorySystemConfig
+from repro.errors import MemoryModelError
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.coalescer import coalesce
+from repro.memory.dram import DramModel
+from repro.memory.request import AccessResult, AccessType, HitLevel
+from repro.memory.scratchpad import Scratchpad
+
+__all__ = ["MemoryHierarchy", "HierarchyStats"]
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated counters of every level (flattened for the power model)."""
+
+    l1: dict[str, int]
+    l2: dict[str, int]
+    dram: dict[str, int]
+    scratchpad: dict[str, int]
+
+    def flat(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for prefix, counters in (
+            ("l1", self.l1),
+            ("l2", self.l2),
+            ("dram", self.dram),
+            ("scratchpad", self.scratchpad),
+        ):
+            for key, value in counters.items():
+                out[f"{prefix}_{key}"] = value
+        return out
+
+
+class MemoryHierarchy:
+    """L1 + L2 + DRAM + scratchpad with shared timing state."""
+
+    def __init__(
+        self,
+        config: MemorySystemConfig,
+        l1_write_through: bool = False,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.dram = DramModel(config.dram, line_bytes=config.l2.line_bytes)
+        self.l2 = SetAssociativeCache(config.l2, next_level_access=self.dram.access)
+        l1_config = config.l1
+        if l1_write_through:
+            l1_config = replace(l1_config, write_back=False, write_allocate=False)
+        self.l1 = SetAssociativeCache(l1_config, next_level_access=self.l2.access)
+        self.scratchpad = Scratchpad(config.scratchpad)
+
+    # ----------------------------------------------------------------- scalar
+    def access(
+        self, address: int, access: AccessType, cycle: int, size: int = 4
+    ) -> AccessResult:
+        """One scalar global-memory access through L1/L2/DRAM."""
+        if size <= 0:
+            raise MemoryModelError("access size must be positive")
+        before = (self.l1.stats.misses, self.l2.stats.misses)
+        complete = self.l1.access(address, access, cycle)
+        after = (self.l1.stats.misses, self.l2.stats.misses)
+        if after[0] == before[0]:
+            level = HitLevel.L1
+        elif after[1] == before[1]:
+            level = HitLevel.L2
+        else:
+            level = HitLevel.DRAM
+        return AccessResult(
+            complete_cycle=complete, hit_level=level, latency=complete - cycle
+        )
+
+    def load(self, address: int, cycle: int, size: int = 4) -> AccessResult:
+        return self.access(address, AccessType.LOAD, cycle, size)
+
+    def store(self, address: int, cycle: int, size: int = 4) -> AccessResult:
+        return self.access(address, AccessType.STORE, cycle, size)
+
+    # ------------------------------------------------------------ group access
+    def access_group(
+        self,
+        addresses: Sequence[int | None],
+        access: AccessType,
+        cycle: int,
+    ) -> tuple[int, int]:
+        """A warp-wide coalesced access.
+
+        Returns ``(complete_cycle, num_transactions)`` where the completion
+        cycle is that of the slowest transaction.
+        """
+        transactions = coalesce(addresses, self.config.l1.line_bytes)
+        if not transactions:
+            return cycle, 0
+        complete = cycle
+        for txn in transactions:
+            result = self.access(txn.line_address, access, cycle, size=txn.size)
+            complete = max(complete, result.complete_cycle)
+        return complete, len(transactions)
+
+    # ------------------------------------------------------------- scratchpad
+    def scratch_access(self, address: int, is_write: bool, cycle: int) -> int:
+        """One scalar scratchpad (shared-memory) access."""
+        return self.scratchpad.access(address, is_write, cycle)
+
+    def scratch_access_group(
+        self, addresses: Sequence[int], is_write: bool, cycle: int
+    ) -> int:
+        """A warp-wide scratchpad access with bank-conflict serialisation."""
+        return self.scratchpad.access_group(addresses, is_write, cycle)
+
+    # ----------------------------------------------------------------- queries
+    def stats(self) -> HierarchyStats:
+        return HierarchyStats(
+            l1=self.l1.stats.as_dict(),
+            l2=self.l2.stats.as_dict(),
+            dram=self.dram.stats.as_dict(),
+            scratchpad=self.scratchpad.stats.as_dict(),
+        )
+
+    def dram_accesses(self) -> int:
+        return self.dram.stats.accesses
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryHierarchy(l1_accesses={self.l1.stats.accesses}, "
+            f"l2_accesses={self.l2.stats.accesses}, dram_accesses={self.dram.stats.accesses})"
+        )

@@ -1,0 +1,89 @@
+"""Shared-memory scratchpad timing model.
+
+The scratchpad is the structure the paper is trying to avoid: a banked
+SRAM used by CUDA-style shared memory (``__shared__``) and by the plain
+MT-CGRA baseline for inter-thread communication.  The model charges a
+fixed access latency, serialises accesses that hit the same bank in the
+same cycle (bank conflicts) and counts every access so the power model can
+charge scratchpad energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.config.system import ScratchpadConfig
+from repro.errors import MemoryModelError
+
+__all__ = ["ScratchpadStats", "Scratchpad"]
+
+
+@dataclass
+class ScratchpadStats:
+    """Event counters of the scratchpad."""
+
+    reads: int = 0
+    writes: int = 0
+    bank_conflicts: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bank_conflicts": self.bank_conflicts,
+        }
+
+
+class Scratchpad:
+    """A banked shared-memory scratchpad."""
+
+    def __init__(self, config: ScratchpadConfig, word_bytes: int = 4) -> None:
+        config.validate()
+        if word_bytes <= 0:
+            raise MemoryModelError("word_bytes must be positive")
+        self.config = config
+        self.word_bytes = word_bytes
+        self.stats = ScratchpadStats()
+        self._bank_free_at = [0] * config.banks
+
+    def bank_of(self, address: int) -> int:
+        return (address // self.word_bytes) % self.config.banks
+
+    def access(self, address: int, is_write: bool, cycle: int) -> int:
+        """One scalar access; returns the absolute completion cycle."""
+        if cycle < 0:
+            raise MemoryModelError("access cycle must be non-negative")
+        bank = self.bank_of(address)
+        start = max(cycle, self._bank_free_at[bank])
+        if start > cycle:
+            self.stats.bank_conflicts += 1
+        self._bank_free_at[bank] = start + self.config.bank_conflict_penalty
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return start + self.config.access_latency
+
+    def access_group(self, addresses: Sequence[int], is_write: bool, cycle: int) -> int:
+        """A warp-wide access: one address per active lane, issued together.
+
+        Returns the completion cycle of the slowest lane.  Lanes touching
+        the same bank are serialised (the classic shared-memory bank
+        conflict), lanes touching the same *word* are broadcast and count
+        as a single access.
+        """
+        if not addresses:
+            return cycle + self.config.access_latency
+        unique_words = sorted({int(a) // self.word_bytes for a in addresses})
+        complete = cycle
+        for word in unique_words:
+            complete = max(complete, self.access(word * self.word_bytes, is_write, cycle))
+        return complete
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Scratchpad(banks={self.config.banks}, accesses={self.stats.accesses})"

@@ -1,0 +1,17 @@
+"""Simulators: functional dataflow interpreter and cycle-level CGRA model."""
+
+from repro.sim.cycle import CycleResult, CycleSimulator, run_cycle_accurate
+from repro.sim.functional import FunctionalResult, FunctionalSimulator, run_functional
+from repro.sim.launch import KernelLaunch
+from repro.sim.stats import ExecutionStats
+
+__all__ = [
+    "CycleResult",
+    "CycleSimulator",
+    "ExecutionStats",
+    "FunctionalResult",
+    "FunctionalSimulator",
+    "KernelLaunch",
+    "run_cycle_accurate",
+    "run_functional",
+]

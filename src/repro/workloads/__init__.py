@@ -1,0 +1,40 @@
+"""Table 3 workloads in Fermi / MT-CGRA / dMT-CGRA variants."""
+
+from repro.workloads.base import ARCHITECTURES, PreparedWorkload, Workload
+from repro.workloads.bpnn import BpnnWorkload
+from repro.workloads.convolution import ConvolutionWorkload
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.lud import LudWorkload
+from repro.workloads.matmul import MatmulWorkload
+from repro.workloads.pathfinder import PathfinderWorkload
+from repro.workloads.reduce import ReduceWorkload, windowed_partial_sums
+from repro.workloads.registry import (
+    WORKLOAD_CLASSES,
+    all_workloads,
+    get_workload,
+    table3,
+    workload_names,
+)
+from repro.workloads.scan import ScanWorkload
+from repro.workloads.srad import SradWorkload
+
+__all__ = [
+    "ARCHITECTURES",
+    "BpnnWorkload",
+    "ConvolutionWorkload",
+    "HotspotWorkload",
+    "LudWorkload",
+    "MatmulWorkload",
+    "PathfinderWorkload",
+    "PreparedWorkload",
+    "ReduceWorkload",
+    "ScanWorkload",
+    "SradWorkload",
+    "WORKLOAD_CLASSES",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "table3",
+    "windowed_partial_sums",
+    "workload_names",
+]

@@ -1,0 +1,168 @@
+"""Workload infrastructure.
+
+A :class:`Workload` packages one Table 3 kernel in the three forms the
+paper evaluates:
+
+* ``fermi``  — a hand-written SIMT program using shared memory and
+  barriers (the CUDA/Rodinia baseline);
+* ``mt``     — a dataflow graph for the plain MT-CGRA, still using the
+  scratchpad and barrier nodes for inter-thread data sharing;
+* ``dmt``    — a dataflow graph using the paper's ``fromThreadOrConst`` /
+  ``fromThreadOrMem`` primitives instead of shared memory and barriers.
+
+Every workload also provides a NumPy reference; all three variants are
+required (and tested) to produce the same named output arrays as that
+reference, which is what makes the cross-architecture performance and
+energy comparison meaningful.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graph.dfg import DataflowGraph
+from repro.gpgpu.program import SimtProgram
+from repro.sim.launch import KernelLaunch
+
+__all__ = ["ARCHITECTURES", "Workload", "PreparedWorkload"]
+
+#: Architecture identifiers used throughout the harness and the benches.
+ARCHITECTURES = ("fermi", "mt", "dmt")
+
+
+@dataclass
+class PreparedWorkload:
+    """One workload instantiated with concrete parameters and data."""
+
+    workload: "Workload"
+    params: dict[str, Any]
+    inputs: dict[str, np.ndarray]
+    expected: dict[str, np.ndarray]
+
+    def launch(self, architecture: str) -> KernelLaunch:
+        """Build the dataflow launch for ``mt`` or ``dmt``."""
+        if architecture == "mt":
+            graph = self.workload.build_mt(self.params)
+        elif architecture == "dmt":
+            graph = self.workload.build_dmt(self.params)
+        else:
+            raise WorkloadError(
+                f"architecture '{architecture}' does not run a dataflow graph"
+            )
+        usable = {k: v for k, v in self.inputs.items() if k in graph.metadata["arrays"]}
+        return KernelLaunch(graph, usable)
+
+    def fermi_program(self) -> SimtProgram:
+        return self.workload.build_fermi(self.params)
+
+    def fermi_inputs(self) -> dict[str, np.ndarray]:
+        program = self.fermi_program()
+        return {k: v for k, v in self.inputs.items() if k in program.arrays}
+
+    def check_outputs(
+        self, produced: Mapping[str, np.ndarray], rtol: float = 1e-6, atol: float = 1e-6
+    ) -> None:
+        """Raise :class:`WorkloadError` if outputs do not match the reference."""
+        for name, expected in self.expected.items():
+            if name not in produced:
+                raise WorkloadError(f"output array '{name}' was not produced")
+            got = np.asarray(produced[name], dtype=float).ravel()
+            want = np.asarray(expected, dtype=float).ravel()
+            if got.shape != want.shape:
+                raise WorkloadError(
+                    f"output '{name}' has shape {got.shape}, expected {want.shape}"
+                )
+            if not np.allclose(got, want, rtol=rtol, atol=atol):
+                worst = int(np.argmax(np.abs(got - want)))
+                raise WorkloadError(
+                    f"output '{name}' differs from the reference "
+                    f"(worst at index {worst}: {got[worst]} vs {want[worst]})"
+                )
+
+
+class Workload(abc.ABC):
+    """One benchmark kernel of Table 3."""
+
+    #: Short identifier (Table 3 "Application").
+    name: str = ""
+    #: Application domain (Table 3).
+    domain: str = ""
+    #: Kernel name (Table 3).
+    kernel_name: str = ""
+    #: One-line description (Table 3).
+    description: str = ""
+    #: Origin of the kernel ("NVIDIA SDK" or "Rodinia").
+    suite: str = ""
+
+    # ------------------------------------------------------------------- hooks
+    @abc.abstractmethod
+    def default_params(self) -> dict[str, Any]:
+        """Default problem-size parameters."""
+
+    @abc.abstractmethod
+    def make_inputs(self, params: Mapping[str, Any], rng: np.random.Generator) -> dict[str, np.ndarray]:
+        """Generate the input arrays for one run."""
+
+    @abc.abstractmethod
+    def reference(
+        self, params: Mapping[str, Any], inputs: Mapping[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """NumPy reference results for the output arrays."""
+
+    @abc.abstractmethod
+    def build_dmt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """dMT-CGRA kernel graph (direct inter-thread communication)."""
+
+    @abc.abstractmethod
+    def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """MT-CGRA kernel graph (scratchpad + barrier)."""
+
+    @abc.abstractmethod
+    def build_fermi(self, params: Mapping[str, Any]) -> SimtProgram:
+        """Fermi baseline SIMT program (shared memory + barrier)."""
+
+    # -------------------------------------------------------------- conveniences
+    def params_with_defaults(self, overrides: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        params = self.default_params()
+        if overrides:
+            unknown = set(overrides) - set(params)
+            if unknown:
+                raise WorkloadError(
+                    f"unknown parameter(s) {sorted(unknown)} for workload '{self.name}'"
+                )
+            params.update(overrides)
+        return params
+
+    def prepare(
+        self, params: Mapping[str, Any] | None = None, seed: int = 0
+    ) -> PreparedWorkload:
+        """Instantiate the workload with concrete parameters and data."""
+        full = self.params_with_defaults(params)
+        rng = np.random.default_rng(seed)
+        inputs = self.make_inputs(full, rng)
+        expected = self.reference(full, inputs)
+        return PreparedWorkload(
+            workload=self, params=full, inputs=inputs, expected=expected
+        )
+
+    def output_names(self, params: Mapping[str, Any] | None = None) -> tuple[str, ...]:
+        prepared = self.prepare(params)
+        return tuple(prepared.expected)
+
+    def table3_row(self) -> dict[str, str]:
+        """The row of Table 3 describing this workload."""
+        return {
+            "application": self.name,
+            "domain": self.domain,
+            "kernel": self.kernel_name,
+            "description": self.description,
+            "suite": self.suite,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,182 @@
+"""Neural-network layer forward pass (Rodinia ``backprop`` / ``layerforward``).
+
+The kernel evaluates one fully-connected layer: each of the ``n_out``
+output units receives ``sum_i input[i] * weight[i][j]`` squashed through a
+sigmoid.  The thread block is two-dimensional, ``(n_out, n_in)``: thread
+``(tx, ty)`` computes the product ``input[ty] * w[ty][tx]`` and the
+products of each column ``tx`` are reduced along the ``ty`` dimension with
+a doubling tree.
+
+All three variants store, for every thread, the sigmoid of its partial
+(suffix) sum, so the row ``ty == 0`` holds the layer's actual output and
+the outputs of the three architectures are directly comparable.
+
+The paper reports that this kernel *slows down* on dMT-CGRA (~40%): the
+reduction chains communicate between adjacent threads, which serialises
+the threads of each column and limits thread-level parallelism.  The
+benchmark harness checks the sign of that effect.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graph.dfg import DataflowGraph
+from repro.gpgpu.isa import Imm, Op
+from repro.gpgpu.program import SimtProgram, SimtProgramBuilder
+from repro.kernel.builder import KernelBuilder
+from repro.workloads.base import Workload
+
+__all__ = ["BpnnWorkload"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class BpnnWorkload(Workload):
+    """Fully-connected layer forward pass with per-column reduction."""
+
+    name = "bpnn"
+    domain = "Pattern Recognition"
+    kernel_name = "layerforward"
+    description = "Training of a neural network"
+    suite = "Rodinia"
+
+    def default_params(self) -> dict[str, Any]:
+        return {"n_in": 16, "n_out": 16}
+
+    def _levels(self, n_in: int) -> int:
+        levels = int(np.log2(n_in))
+        if 2 ** levels != n_in:
+            raise WorkloadError("bpnn requires a power-of-two input-layer size")
+        return levels
+
+    def make_inputs(self, params, rng) -> dict[str, np.ndarray]:
+        n_in, n_out = params["n_in"], params["n_out"]
+        return {
+            "input_units": rng.uniform(-1.0, 1.0, n_in),
+            "weights": rng.uniform(-0.5, 0.5, n_in * n_out),
+        }
+
+    def reference(self, params, inputs) -> dict[str, np.ndarray]:
+        n_in, n_out = params["n_in"], params["n_out"]
+        units = np.asarray(inputs["input_units"], dtype=float)
+        weights = np.asarray(inputs["weights"], dtype=float).reshape(n_in, n_out)
+        products = units[:, None] * weights           # [ty, tx]
+        suffix = np.cumsum(products[::-1, :], axis=0)[::-1, :]
+        return {"partial": _sigmoid(suffix).ravel()}
+
+    # ------------------------------------------------------------------- dMT
+    def build_dmt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        n_in, n_out = params["n_in"], params["n_out"]
+        levels = self._levels(n_in)
+        b = KernelBuilder("bpnn_dmt", (n_out, n_in))
+        b.global_array("input_units", n_in)
+        b.global_array("weights", n_in * n_out)
+        b.global_array("partial", n_in * n_out)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+
+        unit = b.load("input_units", ty)
+        weight = b.load("weights", tid)
+        current = unit * weight
+        for level in range(levels):
+            distance = 1 << level
+            b.tag_value(f"partial{level}", current)
+            other = b.from_thread_or_const(f"partial{level}", (0, +distance), 0.0)
+            current = current + other
+        activated = b.rcp(b.exp(-current) + 1.0)
+        b.store("partial", tid, activated)
+        return b.finish()
+
+    # -------------------------------------------------------------------- MT
+    def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        n_in, n_out = params["n_in"], params["n_out"]
+        levels = self._levels(n_in)
+        b = KernelBuilder("bpnn_mt", (n_out, n_in))
+        b.global_array("input_units", n_in)
+        b.global_array("weights", n_in * n_out)
+        b.global_array("partial", n_in * n_out)
+        for level in range(levels):
+            b.scratch_array(f"level{level}", n_in * n_out)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+
+        unit = b.load("input_units", ty)
+        weight = b.load("weights", tid)
+        current = unit * weight
+        ack = b.scratch_store("level0", tid, current)
+        bar = b.barrier(ack)
+        total = n_in * n_out
+        for level in range(levels):
+            distance = 1 << level
+            partner_idx = b.minimum(tid + distance * n_out, total - 1)
+            partner = b.scratch_load(f"level{level}", partner_idx, order=bar)
+            addend = b.select(ty < (n_in - distance), partner, 0.0)
+            current = current + addend
+            if level + 1 < levels:
+                ack = b.scratch_store(f"level{level + 1}", tid, current)
+                bar = b.barrier(ack)
+        activated = b.rcp(b.exp(-current) + 1.0)
+        b.store("partial", tid, activated)
+        return b.finish()
+
+    # ----------------------------------------------------------------- Fermi
+    def build_fermi(self, params: Mapping[str, Any]) -> SimtProgram:
+        n_in, n_out = params["n_in"], params["n_out"]
+        self._levels(n_in)
+        total = n_in * n_out
+        b = SimtProgramBuilder("bpnn_fermi", (n_out, n_in))
+        b.global_array("input_units", n_in)
+        b.global_array("weights", n_in * n_out)
+        b.global_array("partial", n_in * n_out)
+        b.shared_array("temp", 2 * total)
+
+        tx = b.tid_x()
+        ty = b.tid_y()
+        tid = b.tid_linear()
+        unit = b.ld_global("input_units", ty)
+        weight = b.ld_global("weights", tid)
+        product = b.mul(unit, weight)
+        pout = b.mov(Imm(0))
+        pin = b.mov(Imm(total))
+        first_idx = b.add(pout, tid)
+        b.st_shared("temp", first_idx, product)
+        b.barrier()
+
+        d = b.mov(Imm(1))
+        b.label("bpnn_loop")
+        swap = b.mov(pout)
+        b.mov(pin, dst=pout)
+        b.mov(swap, dst=pin)
+        self_idx = b.add(pin, tid)
+        own = b.ld_shared("temp", self_idx)
+        partner_pos = b.mad(d, Imm(n_out), tid)
+        partner_pos = b.minimum(partner_pos, Imm(total - 1))
+        partner_idx = b.add(pin, partner_pos)
+        partner = b.ld_shared("temp", partner_idx)
+        limit = b.sub(Imm(n_in), d)
+        in_range = b.setp(Op.SETP_LT, ty, limit)
+        addend = b.select(in_range, partner, Imm(0.0))
+        sum_val = b.add(own, addend)
+        out_idx = b.add(pout, tid)
+        b.st_shared("temp", out_idx, sum_val)
+        b.barrier()
+        b.mul(d, Imm(2), dst=d)
+        again = b.setp(Op.SETP_LT, d, Imm(n_in))
+        b.branch("bpnn_loop", guard=again)
+
+        final_idx = b.add(pout, tid)
+        final = b.ld_shared("temp", final_idx)
+        negated = b.neg(final)
+        expo = b.exp(negated)
+        denom = b.add(expo, Imm(1.0))
+        activated = b.rcp(denom)
+        b.st_global("partial", tid, activated)
+        return b.finish()

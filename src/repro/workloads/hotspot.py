@@ -1,0 +1,184 @@
+"""Thermal simulation (Rodinia ``hotspot_kernel``).
+
+One explicit time step of the HotSpot thermal model on a ``dim x dim``
+grid: every thread owns one cell and combines its own temperature, the
+dissipated power and the temperatures of its four neighbours::
+
+    dN = T[y-1][x] - T     (0 at the boundary: adiabatic edges)
+    ...
+    out = T + step * (P + (dN + dS) * Ry + (dE + dW) * Rx + (amb - T) * Rz)
+
+The communication pattern is the same four-neighbour exchange as SRAD,
+but with two input arrays (temperature and power) and a purely linear
+update, so the dMT-CGRA variant combines ``fromThreadOrConst`` neighbour
+exchange with an extra global load per thread.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.graph.dfg import DataflowGraph
+from repro.gpgpu.isa import Imm, Op, Pred
+from repro.gpgpu.program import SimtProgram, SimtProgramBuilder
+from repro.kernel.builder import KernelBuilder
+from repro.workloads.base import Workload
+
+__all__ = ["HotspotWorkload"]
+
+
+class HotspotWorkload(Workload):
+    """One explicit step of the HotSpot thermal simulation."""
+
+    name = "hotspot"
+    domain = "Physics Simulation"
+    kernel_name = "hotspot_kernel"
+    description = "Thermal simulation tool"
+    suite = "Rodinia"
+
+    def default_params(self) -> dict[str, Any]:
+        return {
+            "dim": 16,
+            "step": 0.5,
+            "rx": 0.1,
+            "ry": 0.1,
+            "rz": 0.05,
+            "ambient": 80.0,
+        }
+
+    def make_inputs(self, params, rng) -> dict[str, np.ndarray]:
+        dim = params["dim"]
+        return {
+            "temp": rng.uniform(70.0, 90.0, dim * dim),
+            "power": rng.uniform(0.0, 1.0, dim * dim),
+        }
+
+    def reference(self, params, inputs) -> dict[str, np.ndarray]:
+        dim = params["dim"]
+        step, rx, ry, rz = params["step"], params["rx"], params["ry"], params["rz"]
+        ambient = params["ambient"]
+        temp = np.asarray(inputs["temp"], dtype=float).reshape(dim, dim)
+        power = np.asarray(inputs["power"], dtype=float).reshape(dim, dim)
+
+        padded = np.pad(temp, 1, mode="edge")
+        d_n = padded[:-2, 1:-1] - temp
+        d_s = padded[2:, 1:-1] - temp
+        d_w = padded[1:-1, :-2] - temp
+        d_e = padded[1:-1, 2:] - temp
+        out = temp + step * (
+            power + (d_n + d_s) * ry + (d_e + d_w) * rx + (ambient - temp) * rz
+        )
+        return {"out": out.ravel()}
+
+    # ------------------------------------------------------------------- dMT
+    def build_dmt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        dim = params["dim"]
+        step, rx, ry, rz = params["step"], params["rx"], params["ry"], params["rz"]
+        ambient = params["ambient"]
+        b = KernelBuilder("hotspot_dmt", (dim, dim))
+        b.global_array("temp", dim * dim)
+        b.global_array("power", dim * dim)
+        b.global_array("out", dim * dim)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+        centre = b.load("temp", tid)
+        dissipated = b.load("power", tid)
+        b.tag_value("cell_temp", centre)
+
+        def diff(offset: tuple[int, int], in_bounds):
+            remote = b.from_thread_or_const("cell_temp", offset, 0.0)
+            return b.select(in_bounds, remote - centre, 0.0)
+
+        d_n = diff((0, -1), ty > 0)
+        d_s = diff((0, +1), ty < (dim - 1))
+        d_w = diff((-1, 0), tx > 0)
+        d_e = diff((+1, 0), tx < (dim - 1))
+
+        delta = (
+            dissipated
+            + (d_n + d_s) * ry
+            + (d_e + d_w) * rx
+            + (b.const(ambient) - centre) * rz
+        )
+        b.store("out", tid, centre + delta * step)
+        return b.finish()
+
+    # -------------------------------------------------------------------- MT
+    def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        dim = params["dim"]
+        step, rx, ry, rz = params["step"], params["rx"], params["ry"], params["rz"]
+        ambient = params["ambient"]
+        b = KernelBuilder("hotspot_mt", (dim, dim))
+        b.global_array("temp", dim * dim)
+        b.global_array("power", dim * dim)
+        b.global_array("out", dim * dim)
+        b.scratch_array("tile", dim * dim)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+        centre = b.load("temp", tid)
+        dissipated = b.load("power", tid)
+        bar = b.barrier(b.scratch_store("tile", tid, centre))
+
+        def diff(index, in_bounds):
+            clamped = b.minimum(b.maximum(index, 0), dim * dim - 1)
+            remote = b.scratch_load("tile", clamped, order=bar)
+            return b.select(in_bounds, remote - centre, 0.0)
+
+        d_n = diff(tid - dim, ty > 0)
+        d_s = diff(tid + dim, ty < (dim - 1))
+        d_w = diff(tid - 1, tx > 0)
+        d_e = diff(tid + 1, tx < (dim - 1))
+
+        delta = (
+            dissipated
+            + (d_n + d_s) * ry
+            + (d_e + d_w) * rx
+            + (b.const(ambient) - centre) * rz
+        )
+        b.store("out", tid, centre + delta * step)
+        return b.finish()
+
+    # ----------------------------------------------------------------- Fermi
+    def build_fermi(self, params: Mapping[str, Any]) -> SimtProgram:
+        dim = params["dim"]
+        step, rx, ry, rz = params["step"], params["rx"], params["ry"], params["rz"]
+        ambient = params["ambient"]
+        b = SimtProgramBuilder("hotspot_fermi", (dim, dim))
+        b.global_array("temp", dim * dim)
+        b.global_array("power", dim * dim)
+        b.global_array("out", dim * dim)
+        b.shared_array("tile", dim * dim)
+
+        tx = b.tid_x()
+        ty = b.tid_y()
+        tid = b.tid_linear()
+        centre = b.ld_global("temp", tid)
+        dissipated = b.ld_global("power", tid)
+        b.st_shared("tile", tid, centre)
+        b.barrier()
+
+        def diff(index_reg, predicate: Pred):
+            clamped = b.maximum(index_reg, Imm(0))
+            clamped = b.minimum(clamped, Imm(dim * dim - 1))
+            remote = b.ld_shared("tile", clamped)
+            delta = b.sub(remote, centre)
+            return b.select(predicate, delta, Imm(0.0))
+
+        d_n = diff(b.sub(tid, Imm(dim)), b.setp(Op.SETP_GT, ty, Imm(0)))
+        d_s = diff(b.add(tid, Imm(dim)), b.setp(Op.SETP_LT, ty, Imm(dim - 1)))
+        d_w = diff(b.sub(tid, Imm(1)), b.setp(Op.SETP_GT, tx, Imm(0)))
+        d_e = diff(b.add(tid, Imm(1)), b.setp(Op.SETP_LT, tx, Imm(dim - 1)))
+
+        vertical = b.mul(b.add(d_n, d_s), Imm(ry))
+        horizontal = b.mul(b.add(d_e, d_w), Imm(rx))
+        ambient_term = b.mul(b.sub(Imm(ambient), centre), Imm(rz))
+        delta = b.add(dissipated, vertical)
+        delta = b.add(delta, horizontal)
+        delta = b.add(delta, ambient_term)
+        result = b.fma(delta, Imm(step), centre)
+        b.st_global("out", tid, result)
+        return b.finish()

@@ -1,0 +1,152 @@
+"""Dynamic programming over a 2D grid (Rodinia ``pathfinder``).
+
+Pathfinder sweeps a cost grid row by row: the running cost of column ``j``
+after row ``r`` is ``wall[r][j]`` plus the minimum of the three running
+costs of columns ``j-1``, ``j``, ``j+1`` after row ``r-1``.  Every row
+therefore needs each thread to read its two horizontal neighbours'
+previous results.
+
+* Fermi: the running-cost row lives in a ping-pong shared-memory buffer
+  with one barrier per row (the ``dynproc_kernel`` structure).
+* MT-CGRA: the same per-row exchange through scratchpad buffers.
+* dMT-CGRA: the per-row exchange becomes two ``fromThreadOrConst`` calls
+  (ΔTID = ±1) per row, with a large constant standing in for the missing
+  neighbour at the grid edges — no scratchpad, no barriers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.graph.dfg import DataflowGraph
+from repro.gpgpu.isa import Imm, Op
+from repro.gpgpu.program import SimtProgram, SimtProgramBuilder
+from repro.kernel.builder import KernelBuilder
+from repro.workloads.base import Workload
+
+__all__ = ["PathfinderWorkload"]
+
+#: Stand-in for "no neighbour" at the grid edges.
+_EDGE_COST = 1.0e18
+
+
+class PathfinderWorkload(Workload):
+    """Shortest-path dynamic programming over a cost grid."""
+
+    name = "pathfinder"
+    domain = "Dynamic Programming"
+    kernel_name = "dynproc_kernel"
+    description = "Find the shortest path on a 2-D grid"
+    suite = "Rodinia"
+
+    def default_params(self) -> dict[str, Any]:
+        return {"cols": 256, "rows": 6}
+
+    def make_inputs(self, params, rng) -> dict[str, np.ndarray]:
+        rows, cols = params["rows"], params["cols"]
+        return {"wall": rng.uniform(0.0, 10.0, rows * cols)}
+
+    def reference(self, params, inputs) -> dict[str, np.ndarray]:
+        rows, cols = params["rows"], params["cols"]
+        wall = np.asarray(inputs["wall"], dtype=float).reshape(rows, cols)
+        running = wall[0].copy()
+        for r in range(1, rows):
+            left = np.concatenate(([_EDGE_COST], running[:-1]))
+            right = np.concatenate((running[1:], [_EDGE_COST]))
+            running = wall[r] + np.minimum(np.minimum(left, running), right)
+        return {"result": running}
+
+    # ------------------------------------------------------------------- dMT
+    def build_dmt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        rows, cols = params["rows"], params["cols"]
+        b = KernelBuilder("pathfinder_dmt", cols)
+        b.global_array("wall", rows * cols)
+        b.global_array("result", cols)
+        tid = b.thread_idx_x()
+        running = b.load("wall", tid)
+        for r in range(1, rows):
+            b.tag_value(f"cost{r - 1}", running)
+            left = b.from_thread_or_const(f"cost{r - 1}", -1, _EDGE_COST)
+            right = b.from_thread_or_const(f"cost{r - 1}", +1, _EDGE_COST)
+            best = b.minimum(b.minimum(left, running), right)
+            step_cost = b.load("wall", b.const(r * cols) + tid)
+            running = step_cost + best
+        b.store("result", tid, running)
+        return b.finish()
+
+    # -------------------------------------------------------------------- MT
+    def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        rows, cols = params["rows"], params["cols"]
+        b = KernelBuilder("pathfinder_mt", cols)
+        b.global_array("wall", rows * cols)
+        b.global_array("result", cols)
+        for r in range(rows - 1):
+            b.scratch_array(f"row{r}", cols)
+        tid = b.thread_idx_x()
+        running = b.load("wall", tid)
+        for r in range(1, rows):
+            ack = b.scratch_store(f"row{r - 1}", tid, running)
+            bar = b.barrier(ack)
+            left_idx = b.maximum(tid - 1, 0)
+            left_raw = b.scratch_load(f"row{r - 1}", left_idx, order=bar)
+            left = b.select(tid > 0, left_raw, _EDGE_COST)
+            right_idx = b.minimum(tid + 1, cols - 1)
+            right_raw = b.scratch_load(f"row{r - 1}", right_idx, order=bar)
+            right = b.select(tid < (cols - 1), right_raw, _EDGE_COST)
+            best = b.minimum(b.minimum(left, running), right)
+            step_cost = b.load("wall", b.const(r * cols) + tid)
+            running = step_cost + best
+        b.store("result", tid, running)
+        return b.finish()
+
+    # ----------------------------------------------------------------- Fermi
+    def build_fermi(self, params: Mapping[str, Any]) -> SimtProgram:
+        rows, cols = params["rows"], params["cols"]
+        b = SimtProgramBuilder("pathfinder_fermi", cols)
+        b.global_array("wall", rows * cols)
+        b.global_array("result", cols)
+        b.shared_array("prev", 2 * cols)
+
+        tid = b.tid_linear()
+        running = b.ld_global("wall", tid)
+        pout = b.mov(Imm(0))
+        pin = b.mov(Imm(cols))
+        row = b.mov(Imm(1))
+        first_idx = b.add(pout, tid)
+        b.st_shared("prev", first_idx, running)
+        b.barrier()
+
+        not_first = b.setp(Op.SETP_GT, tid, Imm(0))
+        not_last = b.setp(Op.SETP_LT, tid, Imm(cols - 1))
+
+        b.label("row_loop")
+        swap = b.mov(pout)
+        b.mov(pin, dst=pout)
+        b.mov(swap, dst=pin)
+        centre_idx = b.add(pin, tid)
+        centre = b.ld_shared("prev", centre_idx)
+        left_pos = b.maximum(b.sub(tid, Imm(1)), Imm(0))
+        left_idx = b.add(pin, left_pos)
+        left_raw = b.ld_shared("prev", left_idx)
+        left = b.select(not_first, left_raw, Imm(_EDGE_COST))
+        right_pos = b.minimum(b.add(tid, Imm(1)), Imm(cols - 1))
+        right_idx = b.add(pin, right_pos)
+        right_raw = b.ld_shared("prev", right_idx)
+        right = b.select(not_last, right_raw, Imm(_EDGE_COST))
+        best = b.minimum(b.minimum(left, centre), right)
+        wall_idx = b.mad(row, Imm(cols), tid)
+        step_cost = b.ld_global("wall", wall_idx)
+        new_cost = b.add(step_cost, best)
+        out_idx = b.add(pout, tid)
+        b.st_shared("prev", out_idx, new_cost)
+        b.barrier()
+        b.add(row, Imm(1), dst=row)
+        again = b.setp(Op.SETP_LT, row, Imm(rows))
+        b.branch("row_loop", guard=again)
+
+        final_idx = b.add(pout, tid)
+        final = b.ld_shared("prev", final_idx)
+        b.st_global("result", tid, final)
+        return b.finish()

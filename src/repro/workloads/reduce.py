@@ -1,0 +1,160 @@
+"""Parallel reduction (NVIDIA SDK ``reduce``).
+
+All three variants compute *windowed doubling partial sums*: after
+``log2(window)`` passes, element ``t`` holds the sum of the input elements
+``t .. min(t + window, window_end) - 1`` of its transmission window, so the
+first element of every window holds that window's total.  This is the
+reduction-tree formulation the paper describes for bounded transmission
+windows (Sec. 3.2): "a bounded transmission window enables mapping distinct
+groups of communicating threads to separate segments at each level of the
+tree".
+
+* Fermi: ping-pong shared-memory buffer, one barrier per pass.
+* MT-CGRA: the same passes as a dataflow graph over scratchpad buffers.
+* dMT-CGRA: each pass is a single ``fromThreadOrConst`` with a positive
+  ΔTID of ``2^k`` and the workload's transmission window — no scratchpad
+  and no barriers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graph.dfg import DataflowGraph
+from repro.gpgpu.isa import Imm, Op
+from repro.gpgpu.program import SimtProgram, SimtProgramBuilder
+from repro.kernel.builder import KernelBuilder
+from repro.workloads.base import Workload
+
+__all__ = ["ReduceWorkload", "windowed_partial_sums"]
+
+
+def windowed_partial_sums(values: np.ndarray, window: int) -> np.ndarray:
+    """Reference semantics shared by all three variants."""
+    values = np.asarray(values, dtype=float)
+    out = np.empty_like(values)
+    for start in range(0, len(values), window):
+        segment = values[start:start + window]
+        suffix = np.cumsum(segment[::-1])[::-1]
+        out[start:start + window] = suffix
+    return out
+
+
+class ReduceWorkload(Workload):
+    """Windowed parallel reduction (tree of pairwise sums)."""
+
+    name = "reduce"
+    domain = "Data-Parallel Algorithms"
+    kernel_name = "reduce"
+    description = "Parallel Reduction"
+    suite = "NVIDIA SDK"
+
+    def default_params(self) -> dict[str, Any]:
+        return {"n": 256, "window": 64}
+
+    def _check(self, params: Mapping[str, Any]) -> tuple[int, int, int]:
+        n, window = params["n"], params["window"]
+        levels = int(np.log2(window))
+        if 2 ** levels != window:
+            raise WorkloadError("reduce requires a power-of-two window")
+        if n % window != 0:
+            raise WorkloadError("reduce requires n to be a multiple of the window")
+        return n, window, levels
+
+    def make_inputs(self, params, rng) -> dict[str, np.ndarray]:
+        return {"in_data": rng.uniform(0.0, 1.0, params["n"])}
+
+    def reference(self, params, inputs) -> dict[str, np.ndarray]:
+        _, window, _ = self._check(params)
+        return {"partials": windowed_partial_sums(inputs["in_data"], window)}
+
+    # ------------------------------------------------------------------- dMT
+    def build_dmt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        n, window, levels = self._check(params)
+        b = KernelBuilder("reduce_dmt", n)
+        b.global_array("in_data", n)
+        b.global_array("partials", n)
+        tid = b.thread_idx_x()
+        current = b.load("in_data", tid)
+        for level in range(levels):
+            distance = 1 << level
+            b.tag_value(f"partial{level}", current)
+            other = b.from_thread_or_const(
+                f"partial{level}", +distance, 0.0, window=window
+            )
+            current = current + other
+        b.store("partials", tid, current)
+        return b.finish()
+
+    # -------------------------------------------------------------------- MT
+    def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        n, window, levels = self._check(params)
+        b = KernelBuilder("reduce_mt", n)
+        b.global_array("in_data", n)
+        b.global_array("partials", n)
+        for level in range(levels):
+            b.scratch_array(f"level{level}", n)
+        tid = b.thread_idx_x()
+        current = b.load("in_data", tid)
+        ack = b.scratch_store("level0", tid, current)
+        bar = b.barrier(ack)
+        window_pos = tid % window
+        for level in range(levels):
+            distance = 1 << level
+            partner_idx = b.minimum(tid + distance, n - 1)
+            partner = b.scratch_load(f"level{level}", partner_idx, order=bar)
+            in_window = window_pos < (window - distance)
+            addend = b.select(in_window, partner, 0.0)
+            current = current + addend
+            if level + 1 < levels:
+                ack = b.scratch_store(f"level{level + 1}", tid, current)
+                bar = b.barrier(ack)
+        b.store("partials", tid, current)
+        return b.finish()
+
+    # ----------------------------------------------------------------- Fermi
+    def build_fermi(self, params: Mapping[str, Any]) -> SimtProgram:
+        n, window, _ = self._check(params)
+        b = SimtProgramBuilder("reduce_fermi", n)
+        b.global_array("in_data", n)
+        b.global_array("partials", n)
+        b.shared_array("temp", 2 * n)
+
+        tid = b.tid_linear()
+        value = b.ld_global("in_data", tid)
+        pout = b.mov(Imm(0))
+        pin = b.mov(Imm(n))
+        first_idx = b.add(pout, tid)
+        b.st_shared("temp", first_idx, value)
+        b.barrier()
+        window_pos = b.mod(tid, Imm(window))
+
+        d = b.mov(Imm(1))
+        b.label("reduce_loop")
+        swap = b.mov(pout)
+        b.mov(pin, dst=pout)
+        b.mov(swap, dst=pin)
+        self_idx = b.add(pin, tid)
+        own = b.ld_shared("temp", self_idx)
+        partner_pos = b.add(tid, d)
+        partner_pos = b.minimum(partner_pos, Imm(n - 1))
+        partner_idx = b.add(pin, partner_pos)
+        partner = b.ld_shared("temp", partner_idx)
+        limit = b.sub(Imm(window), d)
+        in_window = b.setp(Op.SETP_LT, window_pos, limit)
+        addend = b.select(in_window, partner, Imm(0.0))
+        total = b.add(own, addend)
+        out_idx = b.add(pout, tid)
+        b.st_shared("temp", out_idx, total)
+        b.barrier()
+        b.mul(d, Imm(2), dst=d)
+        again = b.setp(Op.SETP_LT, d, Imm(window))
+        b.branch("reduce_loop", guard=again)
+
+        result_idx = b.add(pout, tid)
+        result = b.ld_shared("temp", result_idx)
+        b.st_global("partials", tid, result)
+        return b.finish()

@@ -1,0 +1,56 @@
+"""Workload registry — the programmatic form of the paper's Table 3."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.bpnn import BpnnWorkload
+from repro.workloads.convolution import ConvolutionWorkload
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.lud import LudWorkload
+from repro.workloads.matmul import MatmulWorkload
+from repro.workloads.pathfinder import PathfinderWorkload
+from repro.workloads.reduce import ReduceWorkload
+from repro.workloads.scan import ScanWorkload
+from repro.workloads.srad import SradWorkload
+
+__all__ = ["WORKLOAD_CLASSES", "all_workloads", "get_workload", "workload_names", "table3"]
+
+#: Table 3 order.
+WORKLOAD_CLASSES: tuple[type[Workload], ...] = (
+    ScanWorkload,
+    MatmulWorkload,
+    ConvolutionWorkload,
+    ReduceWorkload,
+    LudWorkload,
+    SradWorkload,
+    BpnnWorkload,
+    HotspotWorkload,
+    PathfinderWorkload,
+)
+
+
+def all_workloads() -> list[Workload]:
+    """Instantiate every Table 3 workload in table order."""
+    return [cls() for cls in WORKLOAD_CLASSES]
+
+
+def workload_names() -> list[str]:
+    return [cls.name for cls in WORKLOAD_CLASSES]
+
+
+def get_workload(name: str) -> Workload:
+    """Look a workload up by its Table 3 application name."""
+    for cls in WORKLOAD_CLASSES:
+        if cls.name == name:
+            return cls()
+    raise WorkloadError(
+        f"unknown workload '{name}'; available: {', '.join(workload_names())}"
+    )
+
+
+def table3(workloads: Iterable[Workload] | None = None) -> list[dict[str, str]]:
+    """The rows of Table 3 (application, domain, kernel, description)."""
+    return [w.table3_row() for w in (workloads or all_workloads())]

@@ -1,0 +1,138 @@
+"""Prefix sum (NVIDIA SDK ``scan_naive``).
+
+* The Fermi baseline is the SDK's naive scan: ``log2(n)`` passes over a
+  ping-pong shared-memory buffer with a barrier after every pass.
+* The MT-CGRA variant expresses the same algorithm as a dataflow graph,
+  with one single-assignment scratchpad buffer per pass (the access counts
+  match the in-place ping-pong version; single assignment keeps the
+  dataflow memory semantics race-free).
+* The dMT-CGRA variant is the paper's Fig. 6: each thread adds its loaded
+  element to the running sum received from thread ``tid - 1`` via
+  ``fromThreadOrConst`` and forwards the new sum with ``tagValue`` — a pure
+  producer/consumer chain with no scratchpad and no barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graph.dfg import DataflowGraph
+from repro.gpgpu.isa import Imm, Op
+from repro.gpgpu.program import SimtProgram, SimtProgramBuilder
+from repro.kernel.builder import KernelBuilder
+from repro.workloads.base import Workload
+
+__all__ = ["ScanWorkload"]
+
+
+def _levels(n: int) -> int:
+    levels = int(np.log2(n))
+    if 2 ** levels != n:
+        raise WorkloadError("scan requires a power-of-two problem size")
+    return levels
+
+
+class ScanWorkload(Workload):
+    """Inclusive prefix sum of a 1D array."""
+
+    name = "scan"
+    domain = "Data-Parallel Algorithms"
+    kernel_name = "scan_naive"
+    description = "Prefix sum"
+    suite = "NVIDIA SDK"
+
+    def default_params(self) -> dict[str, Any]:
+        return {"n": 256}
+
+    def make_inputs(self, params, rng) -> dict[str, np.ndarray]:
+        return {"in_data": rng.uniform(0.0, 1.0, params["n"])}
+
+    def reference(self, params, inputs) -> dict[str, np.ndarray]:
+        return {"prefix": np.cumsum(np.asarray(inputs["in_data"], dtype=float))}
+
+    # ------------------------------------------------------------------- dMT
+    def build_dmt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        n = params["n"]
+        b = KernelBuilder("scan_dmt", n)
+        b.global_array("in_data", n)
+        b.global_array("prefix", n)
+        tid = b.thread_idx_x()
+        value = b.load("in_data", tid)
+        running = b.from_thread_or_const("sum", -1, 0.0)
+        total = running + value
+        b.tag_value("sum", total)
+        b.store("prefix", tid, total)
+        return b.finish()
+
+    # -------------------------------------------------------------------- MT
+    def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        n = params["n"]
+        levels = _levels(n)
+        b = KernelBuilder("scan_mt", n)
+        b.global_array("in_data", n)
+        b.global_array("prefix", n)
+        for level in range(levels):
+            b.scratch_array(f"level{level}", n)
+        tid = b.thread_idx_x()
+        value = b.load("in_data", tid)
+        ack = b.scratch_store("level0", tid, value)
+        bar = b.barrier(ack)
+        current = value
+        for level in range(levels):
+            distance = 1 << level
+            partner_idx = b.maximum(tid - distance, 0)
+            partner = b.scratch_load(f"level{level}", partner_idx, order=bar)
+            addend = b.select(tid >= distance, partner, 0.0)
+            current = current + addend
+            if level + 1 < levels:
+                ack = b.scratch_store(f"level{level + 1}", tid, current)
+                bar = b.barrier(ack)
+        b.store("prefix", tid, current)
+        return b.finish()
+
+    # ----------------------------------------------------------------- Fermi
+    def build_fermi(self, params: Mapping[str, Any]) -> SimtProgram:
+        n = params["n"]
+        _levels(n)
+        b = SimtProgramBuilder("scan_fermi", n)
+        b.global_array("in_data", n)
+        b.global_array("prefix", n)
+        b.shared_array("temp", 2 * n)
+
+        tid = b.tid_linear()
+        value = b.ld_global("in_data", tid)
+        pout = b.mov(Imm(0))
+        pin = b.mov(Imm(n))
+        out_idx = b.add(pout, tid)
+        b.st_shared("temp", out_idx, value)
+        b.barrier()
+
+        d = b.mov(Imm(1))
+        b.label("scan_loop")
+        # swap the ping-pong halves: pout <-> pin
+        swap = b.mov(pout)
+        b.mov(pin, dst=pout)
+        b.mov(swap, dst=pin)
+        self_idx = b.add(pin, tid)
+        own = b.ld_shared("temp", self_idx)
+        partner_pos = b.sub(tid, d)
+        partner_pos = b.maximum(partner_pos, Imm(0))
+        partner_idx = b.add(pin, partner_pos)
+        partner = b.ld_shared("temp", partner_idx)
+        has_partner = b.setp(Op.SETP_GE, tid, d)
+        addend = b.select(has_partner, partner, Imm(0.0))
+        total = b.add(own, addend)
+        store_idx = b.add(pout, tid)
+        b.st_shared("temp", store_idx, total)
+        b.barrier()
+        b.mul(d, Imm(2), dst=d)
+        again = b.setp(Op.SETP_LT, d, Imm(n))
+        b.branch("scan_loop", guard=again)
+
+        final_idx = b.add(pout, tid)
+        result = b.ld_shared("temp", final_idx)
+        b.st_global("prefix", tid, result)
+        return b.finish()

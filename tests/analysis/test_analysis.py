@@ -1,0 +1,97 @@
+"""Tests for the analysis layer: ΔTID CDF, comparisons, report rendering."""
+
+import pytest
+
+from repro.analysis.comparison import ArchitectureComparison, ComparisonTable, geomean
+from repro.analysis.delta_cdf import build_cdf
+from repro.analysis.report import (
+    format_table,
+    render_figure5,
+    render_figure11,
+    render_figure12,
+    render_table3,
+)
+from repro.workloads.registry import all_workloads, table3
+
+
+# ------------------------------------------------------------------ geomean
+def test_geomean_basics():
+    assert geomean([2, 8]) == pytest.approx(4.0)
+    assert geomean([]) == 0.0
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+
+
+# --------------------------------------------------------------- comparison
+def _table():
+    table = ComparisonTable()
+    table.add(ArchitectureComparison(
+        workload="a", cycles={"fermi": 1000, "mt": 500, "dmt": 250},
+        energy_pj={"fermi": 100.0, "mt": 40.0, "dmt": 20.0}))
+    table.add(ArchitectureComparison(
+        workload="b", cycles={"fermi": 900, "mt": 450, "dmt": 100},
+        energy_pj={"fermi": 90.0, "mt": 30.0, "dmt": 10.0}))
+    return table
+
+
+def test_speedups_and_efficiencies():
+    table = _table()
+    assert table.speedups("dmt")["a"] == pytest.approx(4.0)
+    assert table.geomean_speedup("mt") == pytest.approx(2.0)
+    assert table.max_speedup("dmt") == pytest.approx(9.0)
+    assert table.energy_efficiencies("dmt")["b"] == pytest.approx(9.0)
+    summary = table.summary()
+    assert summary["geomean_speedup_dmt"] > summary["geomean_speedup_mt"]
+
+
+def test_row_lookup():
+    table = _table()
+    assert table.row("a").workload == "a"
+    with pytest.raises(KeyError):
+        table.row("missing")
+
+
+# ----------------------------------------------------------------- delta CDF
+def test_delta_cdf_over_the_suite_shows_locality():
+    graphs = [w.build_dmt(w.default_params()) for w in all_workloads()]
+    cdf = build_cdf(graphs)
+    assert cdf.total_tokens > 0
+    points = cdf.points()
+    assert points == sorted(points)
+    assert 0.0 < points[-1][1] <= 1.0 + 1e-9
+    # The paper's locality observation: most transfers fit a 16-entry buffer.
+    assert cdf.fraction_within(16) >= 0.5
+    assert cdf.fraction_within(cdf.max_distance()) == pytest.approx(1.0)
+
+
+def test_delta_cdf_monotone():
+    graphs = [w.build_dmt(w.default_params()) for w in all_workloads()[:3]]
+    cdf = build_cdf(graphs)
+    fractions = [f for _, f in cdf.points()]
+    assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+
+
+# -------------------------------------------------------------------- report
+def test_format_table_alignment():
+    text = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+
+
+def test_render_table3_lists_all_kernels():
+    text = render_table3(table3())
+    for workload in all_workloads():
+        assert workload.kernel_name in text
+
+
+def test_render_figures_include_geomean():
+    table = _table()
+    assert "geomean" in render_figure11(table)
+    assert "geomean" in render_figure12(table)
+
+
+def test_render_figure5_reports_buffer_coverage():
+    graphs = [w.build_dmt(w.default_params()) for w in all_workloads()[:3]]
+    text = render_figure5(build_cdf(graphs))
+    assert "<= 16" in text

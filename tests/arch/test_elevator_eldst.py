@@ -1,0 +1,99 @@
+"""Tests for the elevator node and eLDST unit models (Sec. 4.1 / 4.2)."""
+
+import pytest
+
+from repro.arch.eldst import EldstUnit
+from repro.arch.elevator import ElevatorUnit
+from repro.arch.token import TaggedToken
+from repro.errors import SimulationError
+from repro.graph.dfg import DataflowGraph
+from repro.graph.opcodes import Opcode
+
+
+def _elevator_node(delta=1, const=0.0, window=None):
+    g = DataflowGraph()
+    return g.add_node(
+        Opcode.ELEVATOR, params={"delta": delta, "const": const, "window": window}
+    )
+
+
+def _eldst_node(delta=1, window=None, array="a"):
+    g = DataflowGraph()
+    return g.add_node(
+        Opcode.ELDST, params={"delta": delta, "window": window, "array": array}
+    )
+
+
+# ----------------------------------------------------------------- elevator
+def test_elevator_retags_tokens_downstream():
+    unit = ElevatorUnit(_elevator_node(delta=1), (8,), 8)
+    out = unit.push(TaggedToken(tid=2, value=5.0))
+    assert out.tid == 3 and out.value == 5.0
+    assert unit.stats.tokens_retagged == 1
+
+
+def test_elevator_drops_tokens_without_consumer():
+    unit = ElevatorUnit(_elevator_node(delta=1), (8,), 8)
+    assert unit.push(TaggedToken(tid=7, value=1.0)) is None
+    assert unit.stats.tokens_dropped == 1
+
+
+def test_elevator_constant_for_first_threads():
+    unit = ElevatorUnit(_elevator_node(delta=2, const=9.0), (8,), 8)
+    token = unit.constant_token(1)
+    assert token.value == 9.0
+    assert unit.constant_token(5) is None  # has a real producer
+
+
+def test_elevator_window_respected():
+    unit = ElevatorUnit(_elevator_node(delta=1, window=4), (8,), 8)
+    # producer 3 -> consumer 4 crosses the window boundary and is dropped
+    assert unit.push(TaggedToken(tid=3, value=1.0)) is None
+    assert unit.constant_token(4) is not None
+
+
+def test_elevator_deliver_and_duplicate_protection():
+    unit = ElevatorUnit(_elevator_node(delta=1), (8,), 8)
+    unit.push(TaggedToken(tid=0, value=1.0))
+    assert unit.deliver(1).value == 1.0
+    with pytest.raises(SimulationError):
+        unit.push(TaggedToken(tid=0, value=2.0))
+
+
+def test_elevator_buffer_occupancy_matches_delta():
+    unit = ElevatorUnit(_elevator_node(delta=4), (16,), 16, buffer_entries=16)
+    for producer in range(4):
+        unit.push(TaggedToken(tid=producer, value=float(producer)))
+    assert unit.buffered_count == 4
+    assert not unit.overflow()
+    assert unit.required_buffering(0) == 4
+
+
+# -------------------------------------------------------------------- eLDST
+def test_eldst_forwards_loaded_value_down_the_chain():
+    unit = EldstUnit(_eldst_node(delta=1), (4,), 4)
+    unit.complete_load(0, 7.5)
+    assert unit.has_forward_for(1)
+    token = unit.forward(1)
+    assert token.tid == 1 and token.value == 7.5
+    # forwarding loops the value onwards to thread 2
+    assert unit.has_forward_for(2)
+
+
+def test_eldst_reuse_factor():
+    unit = EldstUnit(_eldst_node(delta=1, window=8), (16,), 16)
+    assert unit.reuse_factor() == 8.0
+
+
+def test_eldst_window_stops_the_loopback():
+    unit = EldstUnit(_eldst_node(delta=1, window=2), (4,), 4)
+    unit.complete_load(0, 1.0)
+    unit.forward(1)
+    # thread 2 starts a new window; the duplicate is discarded
+    assert not unit.has_forward_for(2)
+    assert unit.stats.dropped_duplicates >= 1
+
+
+def test_eldst_requires_eldst_node():
+    with pytest.raises(SimulationError):
+        EldstUnit(_elevator_node(), (4,), 4)

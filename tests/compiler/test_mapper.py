@@ -1,0 +1,70 @@
+"""Tests for placement and routing."""
+
+from repro.arch.grid import PhysicalGrid
+from repro.compiler.mapper.placement import AnnealingRefiner, GreedyPlacer, place_graph
+from repro.compiler.mapper.routing import route_placement
+from repro.config.system import CgraGridConfig, NocConfig, default_system_config
+from repro.graph.opcodes import UnitClass
+from repro.workloads.convolution import ConvolutionWorkload
+
+
+def _graph():
+    return ConvolutionWorkload().build_dmt({"n": 64, "k0": 0.25, "k1": 0.5, "k2": 0.25})
+
+
+def test_greedy_placement_respects_unit_classes():
+    graph = _graph()
+    grid = PhysicalGrid(CgraGridConfig())
+    placement = GreedyPlacer(grid).place(graph)
+    for node in graph.nodes:
+        if node.unit_class is UnitClass.SOURCE:
+            assert placement.unit_of(node.node_id) is None
+            continue
+        unit_id = placement.unit_of(node.node_id)
+        unit = grid.unit(unit_id)
+        compatible = {u.unit_id for u in grid.units_compatible_with(node.unit_class)}
+        assert unit.unit_id in compatible
+
+
+def test_annealing_does_not_increase_wire_length():
+    graph = _graph()
+    grid = PhysicalGrid(CgraGridConfig())
+    seed = GreedyPlacer(grid).place(graph)
+    before = seed.wire_length()
+    refined = AnnealingRefiner(iterations=800, seed=1).refine(seed)
+    assert refined.wire_length() <= before * 1.25  # annealing may wander slightly
+
+
+def test_placement_is_deterministic_for_fixed_seed():
+    graph = _graph()
+    grid = PhysicalGrid(CgraGridConfig())
+    a = place_graph(graph, grid, anneal_iterations=300, seed=7)
+    b = place_graph(graph.copy(), grid, anneal_iterations=300, seed=7)
+    assert a.node_to_unit == b.node_to_unit
+
+
+def test_routing_produces_hops_for_every_placed_edge():
+    graph = _graph()
+    grid = PhysicalGrid(CgraGridConfig())
+    placement = place_graph(graph, grid, anneal_iterations=200)
+    mapping = route_placement(placement, NocConfig())
+    assert len(mapping.edge_hops) == graph.num_edges()
+    assert mapping.total_hops >= 0
+    assert mapping.mean_hops >= 0.0
+    # hop count between two placed nodes equals their Manhattan distance
+    for edge in graph.edges():
+        src_unit = placement.unit_of(edge.src)
+        dst_unit = placement.unit_of(edge.dst)
+        if src_unit is None or dst_unit is None:
+            continue
+        assert mapping.hops_for_edge(edge) == grid.distance(src_unit, dst_unit)
+
+
+def test_oversubscribed_graph_shares_units():
+    # A graph with more LDST-class nodes than physical LDST units.
+    from repro.workloads.matmul import MatmulWorkload
+
+    graph = MatmulWorkload().build_mt({"dim": 16})
+    grid = PhysicalGrid(CgraGridConfig())
+    placement = place_graph(graph, grid, anneal_iterations=100)
+    assert placement.shared_units()  # at least one unit hosts several nodes

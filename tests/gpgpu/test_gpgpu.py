@@ -1,0 +1,136 @@
+"""Tests for the Fermi SIMT baseline: ISA, programs, simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GpgpuExecutionError, IsaError
+from repro.gpgpu.isa import Imm, Instruction, Op, Pred, Reg
+from repro.gpgpu.program import SimtProgramBuilder
+from repro.gpgpu.simulator import run_fermi
+
+
+# ---------------------------------------------------------------------- ISA
+def test_instruction_validation():
+    with pytest.raises(IsaError):
+        Instruction(Op.LD_GLOBAL, dst=Reg(0), srcs=(Reg(1),))  # missing array
+    with pytest.raises(IsaError):
+        Instruction(Op.BRA)  # missing target
+    with pytest.raises(IsaError):
+        Instruction(Op.SETP_LT, dst=Reg(0), srcs=(Reg(1), Reg(2)))  # dst not a pred
+
+
+def test_program_requires_defined_labels_and_exit():
+    b = SimtProgramBuilder("p", 32)
+    b.branch("nowhere")
+    with pytest.raises(IsaError):
+        b.finish()
+
+
+def test_listing_contains_labels_and_instructions():
+    b = SimtProgramBuilder("p", 32)
+    b.global_array("out", 32)
+    tid = b.tid_linear()
+    b.label("top")
+    b.st_global("out", tid, Imm(1.0))
+    prog = b.finish()
+    listing = prog.listing()
+    assert "top:" in listing and "st.global" in listing
+
+
+# ----------------------------------------------------------------- simulator
+def test_vector_add_executes_correctly():
+    n = 64
+    b = SimtProgramBuilder("vadd", n)
+    b.global_array("a", n)
+    b.global_array("b", n)
+    b.global_array("c", n)
+    tid = b.tid_linear()
+    av = b.ld_global("a", tid)
+    bv = b.ld_global("b", tid)
+    b.st_global("c", tid, b.add(av, bv))
+    prog = b.finish()
+    a = np.arange(float(n))
+    bb = np.ones(n) * 2
+    result = run_fermi(prog, {"a": a, "b": bb})
+    np.testing.assert_allclose(result.array("c"), a + bb)
+    assert result.cycles > 0
+    assert result.stats.instructions_issued >= 6 * (n // 32)
+
+
+def test_predicated_store_masks_lanes():
+    n = 32
+    b = SimtProgramBuilder("pred", n)
+    b.global_array("out", n)
+    tid = b.tid_linear()
+    even = b.setp(Op.SETP_EQ, b.mod(tid, Imm(2)), Imm(0))
+    b.st_global("out", tid, Imm(7.0), guard=even)
+    prog = b.finish()
+    result = run_fermi(prog)
+    out = result.array("out")
+    np.testing.assert_allclose(out[::2], 7.0)
+    np.testing.assert_allclose(out[1::2], 0.0)
+
+
+def test_shared_memory_and_barrier_exchange():
+    n = 64
+    b = SimtProgramBuilder("reverse", n)
+    b.global_array("in_data", n)
+    b.global_array("out", n)
+    b.shared_array("tile", n)
+    tid = b.tid_linear()
+    v = b.ld_global("in_data", tid)
+    b.st_shared("tile", tid, v)
+    b.barrier()
+    rev = b.sub(Imm(n - 1), tid)
+    b.st_global("out", tid, b.ld_shared("tile", rev))
+    prog = b.finish()
+    data = np.arange(float(n))
+    result = run_fermi(prog, {"in_data": data})
+    np.testing.assert_allclose(result.array("out"), data[::-1])
+    assert result.stats.barrier_arrivals == n
+    assert result.stats.scratch_stores == n
+
+
+def test_uniform_loop_executes_fixed_trip_count():
+    n = 32
+    b = SimtProgramBuilder("loop", n)
+    b.global_array("out", n)
+    tid = b.tid_linear()
+    acc = b.mov(Imm(0.0))
+    i = b.mov(Imm(0))
+    b.label("body")
+    b.add(acc, Imm(1.0), dst=acc)
+    b.add(i, Imm(1), dst=i)
+    again = b.setp(Op.SETP_LT, i, Imm(10))
+    b.branch("body", guard=again)
+    b.st_global("out", tid, acc)
+    prog = b.finish()
+    result = run_fermi(prog)
+    np.testing.assert_allclose(result.array("out"), 10.0)
+
+
+def test_divergent_branch_is_rejected():
+    n = 32
+    b = SimtProgramBuilder("diverge", n)
+    b.global_array("out", n)
+    tid = b.tid_linear()
+    odd = b.setp(Op.SETP_EQ, b.mod(tid, Imm(2)), Imm(1))
+    b.label("skip")
+    b.branch("skip", guard=odd)
+    b.st_global("out", tid, Imm(1.0))
+    prog = b.finish()
+    with pytest.raises(GpgpuExecutionError):
+        run_fermi(prog)
+
+
+def test_register_and_issue_statistics_scale_with_lanes():
+    n = 64
+    b = SimtProgramBuilder("stats", n)
+    b.global_array("out", n)
+    tid = b.tid_linear()
+    b.st_global("out", tid, b.mul(tid, Imm(3)))
+    prog = b.finish()
+    result = run_fermi(prog)
+    assert result.stats.instructions_per_lane == result.stats.instructions_issued * 32
+    assert result.stats.register_writes > 0
+    assert result.counters()["global_transactions"] >= 2

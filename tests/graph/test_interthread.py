@@ -1,0 +1,95 @@
+"""Tests for the shared inter-thread communication semantics."""
+
+import pytest
+
+from repro.graph.dfg import DataflowGraph
+from repro.graph.interthread import (
+    eldst_source,
+    elevator_destination,
+    elevator_source,
+    linear_offset,
+    linearize,
+    same_window,
+    unlinearize,
+)
+from repro.graph.opcodes import Opcode
+
+
+def _elevator(delta, const=0.0, window=None, src_offset=None):
+    g = DataflowGraph()
+    params = {"delta": delta, "const": const, "window": window}
+    if src_offset is not None:
+        params["src_offset"] = src_offset
+    return g.add_node(Opcode.ELEVATOR, params=params)
+
+
+def test_linearize_roundtrip():
+    block = (4, 4, 2)
+    for tid in range(32):
+        assert linearize(unlinearize(tid, block), block) == tid
+
+
+def test_linear_offset_multidimensional():
+    assert linear_offset((1, 0), (8, 8)) == 1
+    assert linear_offset((0, 1), (8, 8)) == 8
+    assert linear_offset((0, 0, 1), (4, 4, 4)) == 16
+    assert linear_offset(-3, (8,)) == -3
+
+
+def test_same_window():
+    assert same_window(0, 15, 16)
+    assert not same_window(15, 16, 16)
+    assert same_window(5, 500, None)
+
+
+def test_elevator_source_simple_delta():
+    node = _elevator(delta=1)
+    assert elevator_source(node, 5, (16,), 16) == 4
+    assert elevator_source(node, 0, (16,), 16) is None
+
+
+def test_elevator_source_negative_delta():
+    node = _elevator(delta=-1)  # consumer c receives from c + 1
+    assert elevator_source(node, 5, (16,), 16) == 6
+    assert elevator_source(node, 15, (16,), 16) is None
+
+
+def test_elevator_destination_mirrors_source():
+    node = _elevator(delta=3)
+    num = 32
+    for producer in range(num):
+        dst = elevator_destination(node, producer, (num,), num)
+        if dst is not None:
+            assert elevator_source(node, dst, (num,), num) == producer
+
+
+def test_window_bounds_communication():
+    node = _elevator(delta=1, window=8)
+    assert elevator_source(node, 8, (32,), 32) is None  # first thread of group 2
+    assert elevator_source(node, 9, (32,), 32) == 8
+
+
+def test_multidimensional_offset_boundaries():
+    node = _elevator(delta=-4, src_offset=(0, -1))
+    block = (4, 4)
+    # thread (x=2, y=0) has no northern neighbour
+    assert elevator_source(node, 2, block, 16) is None
+    # thread (x=2, y=1) receives from (2, 0) = tid 2
+    assert elevator_source(node, 6, block, 16) == 2
+
+
+def test_eldst_source_matches_elevator_semantics():
+    node_params = {"delta": 4, "const": 0, "window": None, "array": "a"}
+    g = DataflowGraph()
+    node = g.add_node(Opcode.ELDST, params=node_params)
+    assert eldst_source(node, 7, (16,), 16) == 3
+    assert eldst_source(node, 2, (16,), 16) is None
+
+
+def test_invalid_block_dim_rejected():
+    from repro.errors import GraphError
+
+    with pytest.raises(GraphError):
+        linearize((0,), (0,))
+    with pytest.raises(GraphError):
+        linearize((0,), (2, 2, 2, 2))

@@ -1,0 +1,46 @@
+"""Tests for the opcode tables."""
+
+import pytest
+
+from repro.graph.opcodes import OPCODE_INFO, Opcode, UnitClass, opcode_info
+
+
+def test_every_opcode_has_info():
+    assert set(OPCODE_INFO) == set(Opcode)
+
+
+def test_arity_bounds_are_consistent():
+    for opcode, info in OPCODE_INFO.items():
+        assert 0 <= info.min_arity <= info.max_arity, opcode
+
+
+def test_sources_have_no_operands():
+    for opcode in (Opcode.CONST, Opcode.TID_X, Opcode.TID_LINEAR):
+        assert opcode_info(opcode).max_arity == 0
+
+
+def test_output_is_a_sink():
+    assert not opcode_info(Opcode.OUTPUT).has_output
+
+
+def test_inter_thread_opcodes_map_to_new_units():
+    assert opcode_info(Opcode.ELEVATOR).unit_class is UnitClass.ELEVATOR
+    assert opcode_info(Opcode.ELDST).unit_class is UnitClass.ELDST
+
+
+def test_accepts_arity():
+    info = opcode_info(Opcode.LOAD)
+    assert info.accepts_arity(1)
+    assert info.accepts_arity(2)
+    assert not info.accepts_arity(3)
+    assert not info.accepts_arity(0)
+
+
+@pytest.mark.parametrize("opcode", [Opcode.ADD, Opcode.MUL, Opcode.MIN, Opcode.EQ])
+def test_commutative_flags(opcode):
+    assert opcode_info(opcode).commutative
+
+
+def test_non_commutative_flags():
+    assert not opcode_info(Opcode.SUB).commutative
+    assert not opcode_info(Opcode.DIV).commutative

@@ -1,0 +1,98 @@
+"""Tests for pure opcode evaluation."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph.dfg import DataflowGraph
+from repro.graph.opcodes import DType, Opcode
+from repro.graph.semantics import PURE_OPCODES, coerce, evaluate_pure
+
+
+def _node(opcode, dtype=DType.I32):
+    return DataflowGraph().add_node(opcode, dtype)
+
+
+@pytest.mark.parametrize(
+    "opcode,operands,expected",
+    [
+        (Opcode.ADD, (3, 4), 7),
+        (Opcode.SUB, (3, 4), -1),
+        (Opcode.MUL, (3, 4), 12),
+        (Opcode.MIN, (3, 4), 3),
+        (Opcode.MAX, (3, 4), 4),
+        (Opcode.ABS, (-3,), 3),
+        (Opcode.NEG, (3,), -3),
+        (Opcode.FMA, (2, 3, 4), 10),
+        (Opcode.AND, (0b1100, 0b1010), 0b1000),
+        (Opcode.OR, (0b1100, 0b1010), 0b1110),
+        (Opcode.XOR, (0b1100, 0b1010), 0b0110),
+        (Opcode.SHL, (1, 4), 16),
+        (Opcode.SHR, (16, 4), 1),
+    ],
+)
+def test_integer_operations(opcode, operands, expected):
+    assert evaluate_pure(_node(opcode), operands) == expected
+
+
+def test_integer_division_truncates_toward_zero():
+    assert evaluate_pure(_node(Opcode.DIV), (7, 2)) == 3
+    assert evaluate_pure(_node(Opcode.DIV), (-7, 2)) == -3
+    assert evaluate_pure(_node(Opcode.MOD), (-7, 2)) == -1
+
+
+def test_division_by_zero_raises_for_integers():
+    with pytest.raises(SimulationError):
+        evaluate_pure(_node(Opcode.DIV), (1, 0))
+
+
+def test_float_division_by_zero_gives_infinity():
+    assert evaluate_pure(_node(Opcode.DIV, DType.F32), (1.0, 0.0)) == math.inf
+
+
+@pytest.mark.parametrize(
+    "opcode,operands,expected",
+    [
+        (Opcode.LT, (1, 2), True),
+        (Opcode.LE, (2, 2), True),
+        (Opcode.GT, (1, 2), False),
+        (Opcode.GE, (2, 2), True),
+        (Opcode.EQ, (2, 2), True),
+        (Opcode.NE, (2, 2), False),
+        (Opcode.LAND, (1, 0), False),
+        (Opcode.LOR, (1, 0), True),
+        (Opcode.LNOT, (0,), True),
+    ],
+)
+def test_comparisons_and_logic(opcode, operands, expected):
+    assert evaluate_pure(_node(opcode, DType.BOOL), operands) is expected
+
+
+def test_select_picks_by_condition():
+    node = _node(Opcode.SELECT, DType.F32)
+    assert evaluate_pure(node, (True, 1.5, 2.5)) == 1.5
+    assert evaluate_pure(node, (False, 1.5, 2.5)) == 2.5
+
+
+def test_special_functions():
+    assert evaluate_pure(_node(Opcode.SQRT, DType.F32), (4.0,)) == 2.0
+    assert evaluate_pure(_node(Opcode.RCP, DType.F32), (4.0,)) == 0.25
+    assert math.isclose(evaluate_pure(_node(Opcode.EXP, DType.F32), (0.0,)), 1.0)
+
+
+def test_non_pure_opcode_rejected():
+    with pytest.raises(SimulationError):
+        evaluate_pure(_node(Opcode.LOAD), (0,))
+
+
+def test_coerce_respects_dtype():
+    assert coerce(3.7, DType.I32) == 3
+    assert coerce(1, DType.BOOL) is True
+    assert isinstance(coerce(2, DType.F32), float)
+
+
+def test_pure_opcode_set_excludes_memory_and_interthread():
+    assert Opcode.LOAD not in PURE_OPCODES
+    assert Opcode.ELEVATOR not in PURE_OPCODES
+    assert Opcode.ELDST not in PURE_OPCODES

@@ -1,0 +1,35 @@
+"""Tests for DOT / networkx export."""
+
+from repro.graph.dfg import DataflowGraph
+from repro.graph.opcodes import Opcode
+from repro.graph.visualize import to_dot, to_networkx
+
+
+def _graph():
+    g = DataflowGraph("viz")
+    c = g.add_node(Opcode.CONST, params={"value": 7})
+    e = g.add_node(Opcode.ELEVATOR, params={"delta": 1, "const": 0.0})
+    st = g.add_node(Opcode.STORE, params={"array": "out"})
+    g.add_edge(c, e, 0)
+    g.add_edge(c, st, 0)
+    g.add_edge(e, st, 1)
+    return g
+
+
+def test_networkx_export_preserves_structure():
+    g = _graph()
+    nxg = to_networkx(g)
+    assert nxg.number_of_nodes() == 3
+    assert nxg.number_of_edges() == 3
+    temporal = [d for _, _, d in nxg.edges(data=True) if d["temporal"]]
+    assert len(temporal) == 1
+
+
+def test_dot_output_mentions_every_node_and_style():
+    g = _graph()
+    dot = to_dot(g)
+    assert dot.startswith('digraph "viz"')
+    for node in g.nodes:
+        assert f"n{node.node_id}" in dot
+    assert "dashed" in dot  # temporal edge styling
+    assert "Δ=1" in dot

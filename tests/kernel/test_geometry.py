@@ -1,0 +1,45 @@
+"""Tests for thread-block geometry."""
+
+import pytest
+
+from repro.errors import KernelBuildError
+from repro.kernel.geometry import ThreadGeometry
+
+
+def test_num_threads_and_dims():
+    g = ThreadGeometry((8, 4, 2))
+    assert g.num_threads == 64
+    assert g.dims == 3
+
+
+def test_linearize_matches_cuda_order():
+    g = ThreadGeometry((4, 4))
+    assert g.linearize((1, 0)) == 1
+    assert g.linearize((0, 1)) == 4
+    assert g.unlinearize(5) == (1, 1, 0)
+
+
+def test_coordinates_iterate_in_linear_order():
+    g = ThreadGeometry((2, 2))
+    coords = list(g.coordinates())
+    assert coords == [(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0)]
+
+
+def test_contains():
+    g = ThreadGeometry((4, 4))
+    assert g.contains((3, 3))
+    assert not g.contains((4, 0))
+    assert not g.contains((-1, 0))
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(KernelBuildError):
+        ThreadGeometry((0,))
+    with pytest.raises(KernelBuildError):
+        ThreadGeometry((2, 2, 2, 2))
+
+
+def test_linear_offset_negative_dimension():
+    g = ThreadGeometry((8, 8))
+    assert g.linear_offset((0, -1)) == -8
+    assert g.linear_offset(-1) == -1

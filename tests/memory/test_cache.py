@@ -1,0 +1,106 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.config.system import CacheConfig
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.request import AccessType
+
+
+def _cache(**overrides):
+    params = dict(
+        name="L1",
+        size_bytes=1024,
+        line_bytes=64,
+        ways=2,
+        banks=2,
+        hit_latency=4,
+        write_back=True,
+        write_allocate=True,
+    )
+    params.update(overrides)
+    return SetAssociativeCache(CacheConfig(**params))
+
+
+def test_cold_miss_then_hit():
+    cache = _cache()
+    first = cache.access(0, AccessType.LOAD, cycle=0)
+    second = cache.access(4, AccessType.LOAD, cycle=first)
+    assert cache.stats.read_misses == 1
+    assert cache.stats.read_hits == 1
+    assert second - first == cache.config.hit_latency
+
+
+def test_lru_eviction():
+    cache = _cache()
+    sets = cache.config.num_sets
+    stride = cache.config.line_bytes * sets
+    # Fill both ways of set 0, then touch a third line mapping to set 0.
+    cache.access(0 * stride, AccessType.LOAD, 0)
+    cache.access(1 * stride, AccessType.LOAD, 10)
+    cache.access(2 * stride, AccessType.LOAD, 20)
+    # The least recently used line (address 0) must be gone.
+    assert not cache.contains(0)
+    assert cache.contains(2 * stride)
+
+
+def test_write_back_marks_dirty_and_writes_back_on_eviction():
+    events = []
+    cache = _cache()
+    cache.next_level_access = lambda addr, is_write, cyc: events.append((addr, is_write)) or cyc + 1
+    sets = cache.config.num_sets
+    stride = cache.config.line_bytes * sets
+    cache.access(0, AccessType.STORE, 0)
+    cache.access(stride, AccessType.LOAD, 5)
+    cache.access(2 * stride, AccessType.LOAD, 10)  # evicts the dirty line
+    assert cache.stats.writebacks == 1
+    assert any(is_write for _, is_write in events)
+
+
+def test_write_through_forwards_every_store():
+    calls = []
+
+    def next_level(addr, is_write, cycle):
+        calls.append(is_write)
+        return cycle + 10
+
+    cache = _cache(write_back=False, write_allocate=False)
+    cache.next_level_access = next_level
+    cache.access(0, AccessType.STORE, 0)
+    cache.access(0, AccessType.STORE, 1)
+    assert calls == [True, True]
+    # write-no-allocate: the line is still not resident
+    assert not cache.contains(0)
+
+
+def test_mshr_merges_outstanding_misses():
+    def slow_next_level(addr, is_write, cycle):
+        return cycle + 100
+
+    cache = _cache()
+    cache.next_level_access = slow_next_level
+    cache.access(0, AccessType.LOAD, 0)
+    cache.access(4, AccessType.LOAD, 1)  # same line, fill still outstanding
+    assert cache.stats.mshr_merges >= 1
+
+
+def test_bank_conflicts_accumulate():
+    cache = _cache(banks=1)
+    cache.access(0, AccessType.LOAD, 0)
+    cache.access(64, AccessType.LOAD, 0)  # same cycle, same single bank
+    assert cache.stats.bank_conflict_cycles >= 1
+
+
+def test_flush_invalidates():
+    cache = _cache()
+    cache.access(0, AccessType.STORE, 0)
+    dirty = cache.flush()
+    assert dirty == 1
+    assert not cache.contains(0)
+
+
+def test_negative_cycle_rejected():
+    from repro.errors import MemoryModelError
+
+    with pytest.raises(MemoryModelError):
+        _cache().access(0, AccessType.LOAD, -1)

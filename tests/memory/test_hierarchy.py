@@ -1,0 +1,94 @@
+"""Tests for DRAM, scratchpad, coalescer and the assembled hierarchy."""
+
+import pytest
+
+from repro.config.system import DramConfig, MemorySystemConfig, ScratchpadConfig
+from repro.memory.coalescer import Transaction, coalesce, coalescing_efficiency
+from repro.memory.dram import DramModel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.request import AccessType, HitLevel
+from repro.memory.scratchpad import Scratchpad
+
+
+# --------------------------------------------------------------------- DRAM
+def test_dram_fixed_latency_and_bank_queueing():
+    dram = DramModel(DramConfig(channels=1, banks_per_channel=1, access_latency=50,
+                                bank_busy_cycles=8))
+    first = dram.access(0, False, 0)
+    second = dram.access(0, False, 0)
+    assert first == 50
+    assert second == 8 + 50  # queued behind the first burst
+    assert dram.stats.reads == 2
+    assert dram.stats.queue_cycles == 8
+
+
+def test_dram_channels_interleave():
+    dram = DramModel(DramConfig(channels=2, banks_per_channel=1, access_latency=50,
+                                bank_busy_cycles=8), line_bytes=128)
+    a = dram.access(0, False, 0)
+    b = dram.access(128, False, 0)  # next line -> other channel
+    assert a == b == 50
+
+
+# ---------------------------------------------------------------- scratchpad
+def test_scratchpad_bank_conflicts_serialise():
+    pad = Scratchpad(ScratchpadConfig(banks=2, access_latency=4, bank_conflict_penalty=1))
+    same_bank = [0, 8]  # word 0 and word 2 both map to bank 0
+    done = pad.access_group(same_bank, is_write=False, cycle=0)
+    assert done > 4
+    assert pad.stats.bank_conflicts >= 1
+
+
+def test_scratchpad_broadcast_counts_once():
+    pad = Scratchpad(ScratchpadConfig(banks=32, access_latency=4))
+    done = pad.access_group([0, 0, 0, 0], is_write=False, cycle=0)
+    assert pad.stats.reads == 1
+    assert done == 4
+
+
+# ----------------------------------------------------------------- coalescer
+def test_coalesce_groups_by_line():
+    txns = coalesce([0, 4, 8, 128, None], line_bytes=128)
+    assert len(txns) == 2
+    assert txns[0] == Transaction(line_address=0, size=128, lanes=(0, 1, 2))
+    assert coalescing_efficiency([0, 4, 8], 128) == 1.0
+    assert coalescing_efficiency([0, 128], 128) == 0.5
+
+
+def test_coalesce_rejects_bad_line_size():
+    with pytest.raises(ValueError):
+        coalesce([0], line_bytes=0)
+
+
+# ----------------------------------------------------------------- hierarchy
+def test_hierarchy_hit_levels_progress():
+    h = MemoryHierarchy(MemorySystemConfig())
+    cold = h.load(0, cycle=0)
+    assert cold.hit_level is HitLevel.DRAM
+    warm = h.load(4, cycle=cold.complete_cycle)
+    assert warm.hit_level is HitLevel.L1
+    assert warm.latency < cold.latency
+
+
+def test_hierarchy_group_access_counts_transactions():
+    h = MemoryHierarchy(MemorySystemConfig())
+    addresses = [i * 4 for i in range(32)]
+    _, transactions = h.access_group(addresses, AccessType.LOAD, 0)
+    assert transactions == 1
+    _, transactions = h.access_group([0, 1024, 2048], AccessType.LOAD, 100)
+    assert transactions == 3
+
+
+def test_hierarchy_write_through_option_changes_policy():
+    wt = MemoryHierarchy(MemorySystemConfig(), l1_write_through=True)
+    assert wt.l1.config.write_back is False
+    wb = MemoryHierarchy(MemorySystemConfig())
+    assert wb.l1.config.write_back is True
+
+
+def test_hierarchy_stats_flatten():
+    h = MemoryHierarchy(MemorySystemConfig())
+    h.load(0, 0)
+    flat = h.stats().flat()
+    assert flat["l1_read_misses"] == 1
+    assert flat["dram_reads"] == 1

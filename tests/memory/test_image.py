@@ -1,0 +1,53 @@
+"""Tests for the functional memory image."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.graph.opcodes import DType
+from repro.kernel.arrays import ArrayTable
+from repro.memory.image import MemoryImage
+
+
+def _image():
+    table = ArrayTable()
+    table.declare("a", 8, DType.F32)
+    table.declare("b", 4, DType.I32)
+    return MemoryImage(table)
+
+
+def test_initialise_and_load():
+    image = _image()
+    image.set_array("a", np.arange(8.0))
+    assert image.load("a", 3) == 3.0
+    assert image.array("b").dtype == np.int64
+
+
+def test_store_and_snapshot():
+    image = _image()
+    image.store("a", 0, 42.0)
+    snap = image.snapshot()
+    image.store("a", 0, 0.0)
+    assert snap["a"][0] == 42.0
+
+
+def test_bounds_checks():
+    image = _image()
+    with pytest.raises(MemoryModelError):
+        image.load("a", 8)
+    with pytest.raises(MemoryModelError):
+        image.store("b", -1, 0)
+    with pytest.raises(MemoryModelError):
+        image.load("missing", 0)
+
+
+def test_wrong_length_initialisation_rejected():
+    image = _image()
+    with pytest.raises(MemoryModelError):
+        image.set_array("a", np.zeros(3))
+
+
+def test_address_of_uses_spec_layout():
+    image = _image()
+    base = image.spec("a").base_address
+    assert image.address_of("a", 2) == base + 8

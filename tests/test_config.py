@@ -1,0 +1,88 @@
+"""Tests for the Table 2 system configuration."""
+
+import pytest
+
+from repro.config.system import (
+    CacheConfig,
+    CgraGridConfig,
+    DramConfig,
+    FermiSmConfig,
+    LatencyConfig,
+    NocConfig,
+    ScratchpadConfig,
+    SystemConfig,
+    TokenBufferConfig,
+    default_system_config,
+)
+from repro.errors import ConfigurationError
+
+
+def test_default_configuration_matches_table2():
+    config = default_system_config()
+    assert config.grid.total_units == 140
+    assert config.grid.num_alu == 32
+    assert config.grid.num_fpu == 32
+    assert config.grid.num_special == 12
+    assert config.grid.num_ldst == 32
+    assert config.grid.num_control == 16
+    assert config.grid.num_split_join == 16
+    assert config.token_buffer.entries == 16
+    assert config.core_clock_ghz == pytest.approx(1.4)
+    assert config.l2_clock_ghz == pytest.approx(0.7)
+    assert config.dram_clock_ghz == pytest.approx(0.924)
+    assert config.memory.l1.size_bytes == 64 * 1024
+    assert config.memory.l1.banks == 32
+    assert config.memory.l1.line_bytes == 128
+    assert config.memory.l1.ways == 4
+    assert config.memory.l2.ways == 16
+    assert config.memory.dram.channels == 6
+    assert config.memory.dram.banks_per_channel == 16
+    assert config.fermi.warp_size == 32
+
+
+def test_describe_mentions_the_headline_numbers():
+    text = default_system_config().describe()
+    assert "140" in text and "32 ALUs" in text and "GDDR5" in text
+
+
+def test_to_dict_round_trips_the_grid():
+    data = default_system_config().to_dict()
+    assert data["grid"]["rows"] * data["grid"]["cols"] >= data["grid"]["num_alu"]
+
+
+def test_grid_must_fit_rectangle():
+    with pytest.raises(ConfigurationError):
+        CgraGridConfig(rows=2, cols=2).validate()
+
+
+def test_cache_geometry_validation():
+    with pytest.raises(ConfigurationError):
+        CacheConfig(name="bad", size_bytes=1000, line_bytes=128, ways=3, banks=1,
+                    hit_latency=1).validate()
+    assert CacheConfig(name="ok", size_bytes=1024, line_bytes=64, ways=2, banks=2,
+                       hit_latency=1).num_sets == 8
+
+
+def test_component_validation_errors():
+    with pytest.raises(ConfigurationError):
+        TokenBufferConfig(entries=0).validate()
+    with pytest.raises(ConfigurationError):
+        NocConfig(link_bandwidth_tokens=0).validate()
+    with pytest.raises(ConfigurationError):
+        DramConfig(channels=0).validate()
+    with pytest.raises(ConfigurationError):
+        ScratchpadConfig(size_bytes=0).validate()
+    with pytest.raises(ConfigurationError):
+        LatencyConfig(alu=0).validate()
+    with pytest.raises(ConfigurationError):
+        FermiSmConfig(warp_size=0).validate()
+    with pytest.raises(ConfigurationError):
+        SystemConfig(core_clock_ghz=0).validate()
+
+
+def test_fermi_dispatch_cycles():
+    fermi = FermiSmConfig()
+    assert fermi.dispatch_cycles("alu") == 1
+    assert fermi.dispatch_cycles("memory") == 2
+    assert fermi.dispatch_cycles("sfu") == 8
+    assert fermi.dispatch_cycles("control") == 1

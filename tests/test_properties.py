@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) on the core data structures and semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dfg import DataflowGraph
+from repro.graph.interthread import (
+    elevator_destination,
+    elevator_source,
+    linearize,
+    unlinearize,
+)
+from repro.graph.opcodes import Opcode
+from repro.kernel.builder import KernelBuilder
+from repro.memory.coalescer import coalesce
+from repro.sim.functional import run_functional
+from repro.sim.launch import KernelLaunch
+from repro.workloads.reduce import windowed_partial_sums
+
+# --------------------------------------------------------------------- dims
+block_dims = st.one_of(
+    st.tuples(st.integers(1, 64)),
+    st.tuples(st.integers(1, 16), st.integers(1, 16)),
+    st.tuples(st.integers(1, 8), st.integers(1, 8), st.integers(1, 4)),
+)
+
+
+@given(block_dims, st.integers(0, 4095))
+def test_linearize_unlinearize_roundtrip(block_dim, tid):
+    total = int(np.prod(block_dim))
+    tid = tid % total
+    assert linearize(unlinearize(tid, block_dim), block_dim) == tid
+
+
+@given(
+    st.integers(1, 512),
+    st.integers(-40, 40).filter(lambda d: d != 0),
+    st.one_of(st.none(), st.integers(1, 64)),
+    st.integers(0, 511),
+)
+def test_elevator_source_destination_are_inverse(num_threads, delta, window, producer):
+    producer = producer % num_threads
+    node = DataflowGraph().add_node(
+        Opcode.ELEVATOR, params={"delta": delta, "const": 0.0, "window": window}
+    )
+    dst = elevator_destination(node, producer, (num_threads,), num_threads)
+    if dst is not None:
+        assert 0 <= dst < num_threads
+        assert elevator_source(node, dst, (num_threads,), num_threads) == producer
+
+
+@given(st.lists(st.one_of(st.none(), st.integers(0, 1 << 20)), min_size=1, max_size=64))
+def test_coalesce_partitions_active_lanes(addresses):
+    transactions = coalesce(addresses, line_bytes=128)
+    covered = sorted(lane for txn in transactions for lane in txn.lanes)
+    active = sorted(i for i, a in enumerate(addresses) if a is not None)
+    assert covered == active
+    for txn in transactions:
+        assert txn.line_address % 128 == 0
+        for lane in txn.lanes:
+            assert addresses[lane] // 128 * 128 == txn.line_address
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1, max_size=64))
+def test_prefix_sum_kernel_matches_numpy(values):
+    n = len(values)
+    builder = KernelBuilder("prop_scan", n)
+    builder.global_array("in_data", n)
+    builder.global_array("prefix", n)
+    tid = builder.thread_idx_x()
+    value = builder.load("in_data", tid)
+    running = builder.from_thread_or_const("sum", -1, 0.0)
+    total = running + value
+    builder.tag_value("sum", total)
+    builder.store("prefix", tid, total)
+    graph = builder.finish()
+    result = run_functional(KernelLaunch(graph, {"in_data": np.array(values)}))
+    np.testing.assert_allclose(result.array("prefix"), np.cumsum(values), rtol=1e-9, atol=1e-9)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.integers(1, 5).map(lambda k: 2 ** k),
+    st.integers(1, 4),
+    st.lists(st.floats(0, 10, allow_nan=False), min_size=1, max_size=128),
+)
+def test_windowed_partial_sums_reference_properties(window, groups, raw):
+    n = window * groups
+    values = np.resize(np.asarray(raw, dtype=float), n)
+    out = windowed_partial_sums(values, window)
+    # the first element of every window equals that window's total
+    for start in range(0, n, window):
+        assert np.isclose(out[start], values[start:start + window].sum())
+        # suffix sums are non-increasing for non-negative inputs
+        assert all(np.diff(out[start:start + window]) <= 1e-9)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(2, 48), st.integers(1, 47))
+def test_elevator_chain_in_kernel_matches_shift(n, shift):
+    """A single fromThreadOrConst behaves as an exact thread-index shift."""
+    shift = shift % n or 1
+    builder = KernelBuilder("prop_shift", n)
+    builder.global_array("in_data", n)
+    builder.global_array("out", n)
+    tid = builder.thread_idx_x()
+    value = builder.load("in_data", tid)
+    builder.tag_value("v", value)
+    remote = builder.from_thread_or_const("v", -shift, -1.0)
+    builder.store("out", tid, remote)
+    graph = builder.finish()
+    data = np.arange(float(n)) + 1
+    result = run_functional(KernelLaunch(graph, {"in_data": data}))
+    out = result.array("out")
+    np.testing.assert_allclose(out[:shift], -1.0)
+    np.testing.assert_allclose(out[shift:], data[:-shift] if shift else data)
