@@ -1,0 +1,91 @@
+"""Wall-clock speedup of the wave-batched engine over the event engine.
+
+The event-driven simulator schedules one heap event per token per edge;
+the batched engine evaluates each static node once per injection wave
+over a NumPy vector of thread IDs.  On the inter-thread-free streaming
+variants of matmul / convolution / reduce at 4k+ threads the batched
+engine must be at least 5x faster wall-clock, with bit-identical outputs
+and identical operation counters.
+
+Run with ``pytest benchmarks/bench_engine_speedup.py -s`` to see the
+measured table (it is also what the "Choosing a simulation engine"
+section of ROADMAP.md quotes).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.compiler.pipeline import compile_kernel
+from repro.sim.cycle import run_cycle_accurate
+from repro.workloads.registry import get_workload
+
+#: (workload, params, output array) — all sizes give >= 4096 threads.
+CASES = (
+    ("matrixMul", {"dim": 64}, "c"),
+    ("convolution", {"n": 4096}, "out"),
+    ("reduce", {"n": 4096, "window": 32}, "partials"),
+)
+
+#: Counters that must be exactly equal between the two engines.
+COMPARED_COUNTERS = ("alu_ops", "fpu_ops", "global_loads", "global_stores")
+
+MIN_SPEEDUP = 5.0
+
+
+def _run_case(name: str, params: dict, output: str) -> dict:
+    workload = get_workload(name)
+    prepared = workload.prepare(params)
+    launch = prepared.launch("stream")
+    compiled = compile_kernel(launch.graph)
+
+    start = time.perf_counter()
+    event = run_cycle_accurate(compiled, prepared.launch("stream"), engine="event")
+    event_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = run_cycle_accurate(compiled, prepared.launch("stream"), engine="batched")
+    batched_seconds = time.perf_counter() - start
+
+    assert np.array_equal(event.array(output), batched.array(output)), (
+        f"{name}: batched outputs are not bit-identical to the event engine"
+    )
+    prepared.check_outputs({output: batched.array(output)})
+    event_counters = event.stats.as_dict()
+    batched_counters = batched.stats.as_dict()
+    for counter in COMPARED_COUNTERS:
+        assert event_counters[counter] == batched_counters[counter], (
+            f"{name}: {counter} differs "
+            f"(event={event_counters[counter]}, batched={batched_counters[counter]})"
+        )
+
+    return {
+        "workload": name,
+        "threads": launch.num_threads,
+        "event_seconds": event_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": event_seconds / batched_seconds,
+    }
+
+
+def test_engine_speedup_at_4k_threads():
+    rows = [_run_case(*case) for case in CASES]
+
+    header = f"{'workload':<14} {'threads':>8} {'event [s]':>10} {'batched [s]':>12} {'speedup':>8}"
+    print("\n" + header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['workload']:<14} {row['threads']:>8} "
+            f"{row['event_seconds']:>10.2f} {row['batched_seconds']:>12.3f} "
+            f"{row['speedup']:>7.1f}x"
+        )
+
+    for row in rows:
+        assert row["threads"] >= 4096
+        assert row["speedup"] >= MIN_SPEEDUP, (
+            f"{row['workload']}: batched engine only {row['speedup']:.1f}x faster "
+            f"(required >= {MIN_SPEEDUP}x)"
+        )

@@ -11,8 +11,8 @@ from benchmarks.common import cached_suite
 from repro.harness.figures import figure11
 
 
-def test_fig11_speedup_over_fermi(benchmark):
-    table = benchmark.pedantic(cached_suite, rounds=1, iterations=1)
+def test_fig11_speedup_over_fermi(benchmark, engine):
+    table = benchmark.pedantic(cached_suite, args=(engine,), rounds=1, iterations=1)
     result = figure11(table=table)
     print("\n" + result.text)
 

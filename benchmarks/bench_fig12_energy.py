@@ -12,8 +12,8 @@ from benchmarks.common import cached_suite
 from repro.harness.figures import figure12
 
 
-def test_fig12_energy_efficiency_over_fermi(benchmark):
-    table = benchmark.pedantic(cached_suite, rounds=1, iterations=1)
+def test_fig12_energy_efficiency_over_fermi(benchmark, engine):
+    table = benchmark.pedantic(cached_suite, args=(engine,), rounds=1, iterations=1)
     result = figure12(table=table)
     print("\n" + result.text)
 

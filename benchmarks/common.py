@@ -2,6 +2,8 @@
 
 The full-suite comparison (9 kernels x 3 architectures) is computed once
 per pytest session and reused by the Figure 11 and Figure 12 benches.
+The suite honours the ``--engine`` option (see ``benchmarks/conftest.py``)
+so both simulation engines can be exercised by the same drivers.
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ from repro.harness.experiments import run_suite
 from repro.harness.figures import BENCHMARK_SUITE_PARAMS
 
 
-@lru_cache(maxsize=1)
-def cached_suite() -> ComparisonTable:
+@lru_cache(maxsize=None)
+def cached_suite(engine: str = "auto") -> ComparisonTable:
     """Run the Table 3 suite on all three architectures once and cache it."""
-    return run_suite(params=BENCHMARK_SUITE_PARAMS)
+    return run_suite(params=BENCHMARK_SUITE_PARAMS, engine=engine)

@@ -1,0 +1,34 @@
+"""Benchmark-harness options.
+
+``--engine`` forces every dataflow simulation of the benchmark suite onto
+one engine (``auto``/``event``/``batched``) so regressions in either
+engine fail fast, e.g.::
+
+    pytest benchmarks/ --benchmark-only --engine batched
+
+Forcing ``batched`` is best-effort: kernels with inter-thread
+communication (every mt/dmt Table 3 variant) cannot run on the batched
+engine and keep using the event engine (see ``run_sharded``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cycle import ENGINES
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--engine",
+        action="store",
+        default="auto",
+        choices=ENGINES,
+        help="dataflow simulation engine used by the benchmark suite",
+    )
+
+
+@pytest.fixture
+def engine(request: pytest.FixtureRequest) -> str:
+    """The engine selected with ``--engine`` (default ``auto``)."""
+    return request.config.getoption("--engine")

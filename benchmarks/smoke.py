@@ -1,0 +1,83 @@
+"""Fail-fast smoke target for both simulation engines.
+
+Runs the tier-1 test suite and then a 256-thread matmul on the event and
+batched engines, checking that their outputs are bit-identical and their
+operation counters equal — the cheap end-to-end signal that a regression
+in either engine (or in the dispatch between them) is caught before the
+full benchmark suite runs.  Usage::
+
+    python benchmarks/smoke.py          # tests + both engines
+    python benchmarks/smoke.py --no-tests   # engine check only
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+COMPARED_COUNTERS = ("alu_ops", "fpu_ops", "global_loads", "global_stores")
+
+
+def run_tests() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.call(
+        [sys.executable, "-m", "pytest", "-x", "-q"], cwd=REPO_ROOT, env=env
+    )
+
+
+def run_engine_smoke() -> int:
+    import numpy as np
+
+    from repro.compiler.pipeline import compile_kernel
+    from repro.sim.cycle import run_cycle_accurate
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload("matrixMul")
+    prepared = workload.prepare({"dim": 16})  # 16x16 block = 256 threads
+    compiled = compile_kernel(prepared.launch("stream").graph)
+
+    results = {}
+    for engine in ("event", "batched"):
+        start = time.perf_counter()
+        results[engine] = run_cycle_accurate(
+            compiled, prepared.launch("stream"), engine=engine
+        )
+        elapsed = time.perf_counter() - start
+        print(f"  {engine:<8} 256-thread matmul: {elapsed:.2f}s, "
+              f"{results[engine].cycles} cycles")
+
+    event, batched = results["event"], results["batched"]
+    if not np.array_equal(event.array("c"), batched.array("c")):
+        print("FAIL: engines disagree on matmul outputs")
+        return 1
+    prepared.check_outputs({"c": batched.array("c")})
+    event_counters = event.stats.as_dict()
+    batched_counters = batched.stats.as_dict()
+    for counter in COMPARED_COUNTERS:
+        if event_counters[counter] != batched_counters[counter]:
+            print(f"FAIL: {counter} differs between engines "
+                  f"(event={event_counters[counter]}, batched={batched_counters[counter]})")
+            return 1
+    print("  engines agree: outputs bit-identical, op counters equal")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if "--no-tests" not in argv:
+        print("== tier-1 tests ==")
+        rc = run_tests()
+        if rc:
+            return rc
+    print("== engine smoke (matmul, 256 threads, both engines) ==")
+    sys.path.insert(0, SRC)
+    return run_engine_smoke()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

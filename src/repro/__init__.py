@@ -40,8 +40,12 @@ from repro.sim import (
     CycleResult,
     FunctionalResult,
     KernelLaunch,
+    MulticoreResult,
+    run_batched,
     run_cycle_accurate,
     run_functional,
+    run_multicore,
+    run_sharded,
 )
 from repro.workloads import all_workloads, get_workload, workload_names
 
@@ -63,6 +67,7 @@ __all__ = [
     "KernelBuildError",
     "KernelBuilder",
     "KernelLaunch",
+    "MulticoreResult",
     "Opcode",
     "ReproError",
     "SimulationError",
@@ -78,8 +83,11 @@ __all__ = [
     "default_system_config",
     "fermi_energy",
     "get_workload",
+    "run_batched",
     "run_cycle_accurate",
     "run_functional",
+    "run_multicore",
+    "run_sharded",
     "run_suite",
     "run_workload",
     "workload_names",

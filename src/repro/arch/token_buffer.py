@@ -97,15 +97,28 @@ class TokenBuffer:
         self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._slots))
         return True
 
-    def mark_ready(self, tid: int, port: int) -> None:
+    def mark_ready(self, tid: int, port: int) -> bool:
         """Mark operand ``port`` of ``tid`` as satisfied without a value.
 
         Used by the elevator controller to acknowledge producer-only
         threads (the paper's "setting the acknowledged bit", Sec. 4.1).
+        Like :meth:`insert`, the acknowledge allocates a thread slot and is
+        therefore subject to the same ``entries`` capacity bound (Table 2);
+        returns ``False`` (backpressure) when the buffer is full and has no
+        slot for this thread.
         """
-        slot = self._slots.setdefault(tid, _Slot())
+        if port < 0 or (self.arity and port >= self.arity):
+            raise SimulationError(f"operand port {port} out of range (arity {self.arity})")
+        slot = self._slots.get(tid)
+        if slot is None:
+            if self.is_full:
+                self.stats.stalls_full += 1
+                return False
+            slot = _Slot()
+            self._slots[tid] = slot
         slot.ready_bits.add(port)
         self.stats.peak_occupancy = max(self.stats.peak_occupancy, len(self._slots))
+        return True
 
     # ------------------------------------------------------------------ match
     def ready_threads(self) -> list[int]:

@@ -313,6 +313,11 @@ class SystemConfig:
     l2_clock_ghz: float = 0.7
     dram_clock_ghz: float = 0.924
     max_graph_replicas: int = 8
+    #: Number of simulated CGRA cores a launch may be sharded across.  The
+    #: paper evaluates a single core (one thread block per core); values
+    #: above 1 enable the block-cyclic multi-core sharding of
+    #: :mod:`repro.sim.multicore` for inter-thread-free kernels.
+    cores: int = 1
 
     def validate(self) -> "SystemConfig":
         self.grid.validate()
@@ -325,6 +330,8 @@ class SystemConfig:
             raise ConfigurationError("core clock must be positive")
         if self.max_graph_replicas < 1:
             raise ConfigurationError("max_graph_replicas must be >= 1")
+        if self.cores < 1:
+            raise ConfigurationError("cores must be >= 1")
         return self
 
     def to_dict(self) -> dict[str, Any]:

@@ -22,7 +22,7 @@ from repro.errors import WorkloadError
 from repro.gpgpu.simulator import run_fermi
 from repro.power.model import EnergyBreakdown, cgra_energy, fermi_energy
 from repro.power.tables import EnergyTable
-from repro.sim.cycle import run_cycle_accurate
+from repro.sim.multicore import run_sharded
 from repro.workloads.base import ARCHITECTURES, PreparedWorkload, Workload
 from repro.workloads.registry import all_workloads, get_workload
 
@@ -72,8 +72,16 @@ def run_workload(
     energy_table: EnergyTable | None = None,
     check: bool = True,
     compiler_options: CompilerOptions | None = None,
+    engine: str = "auto",
+    cores: int | None = None,
 ) -> RunResult:
-    """Run one workload on one architecture and return cycles/energy/outputs."""
+    """Run one workload on one architecture and return cycles/energy/outputs.
+
+    ``engine`` selects the dataflow execution engine (``"auto"``,
+    ``"event"`` or ``"batched"``); ``cores`` overrides
+    ``SystemConfig.cores`` for multi-core sharding of inter-thread-free
+    kernels.  Both are ignored by the Fermi baseline.
+    """
     if architecture not in ARCHITECTURES:
         raise WorkloadError(
             f"unknown architecture '{architecture}'; expected one of {ARCHITECTURES}"
@@ -93,7 +101,7 @@ def run_workload(
     else:
         launch = prepared.launch(architecture)
         compiled = compile_kernel(launch.graph, config, compiler_options)
-        result = run_cycle_accurate(compiled, launch)
+        result = run_sharded(compiled, launch, engine=engine, cores=cores)
         counters = result.counters()
         energy = cgra_energy(
             counters,
@@ -129,6 +137,8 @@ def compare_architectures(
     energy_table: EnergyTable | None = None,
     architectures: Sequence[str] = ARCHITECTURES,
     check: bool = True,
+    engine: str = "auto",
+    cores: int | None = None,
 ) -> dict[str, RunResult]:
     """Run one workload on every requested architecture."""
     return {
@@ -140,6 +150,8 @@ def compare_architectures(
             config=config,
             energy_table=energy_table,
             check=check,
+            engine=engine,
+            cores=cores,
         )
         for architecture in architectures
     }
@@ -152,6 +164,8 @@ def run_suite(
     config: SystemConfig | None = None,
     energy_table: EnergyTable | None = None,
     check: bool = True,
+    engine: str = "auto",
+    cores: int | None = None,
 ) -> ComparisonTable:
     """Run the full Table 3 suite on all three architectures (Figs. 11/12)."""
     table = ComparisonTable()
@@ -165,6 +179,8 @@ def run_suite(
             config=config,
             energy_table=energy_table,
             check=check,
+            engine=engine,
+            cores=cores,
         )
         table.add(
             ArchitectureComparison(

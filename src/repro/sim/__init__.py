@@ -1,17 +1,68 @@
-"""Simulators: functional dataflow interpreter and cycle-level CGRA model."""
+"""Simulators of the (d)MT-CGRA execution model.
 
-from repro.sim.cycle import CycleResult, CycleSimulator, run_cycle_accurate
+Three execution layers share one semantics:
+
+* :mod:`repro.sim.functional` — the untimed, demand-driven interpreter;
+  the correctness oracle every other engine is tested against.
+* :mod:`repro.sim.cycle` — the event-driven, cycle-level model: one heap
+  event per token per edge.  Exact, and the only engine that models
+  inter-thread communication (ELEVATOR/ELDST/BARRIER), the full cache/
+  DRAM behaviour and token-buffer backpressure.
+* :mod:`repro.sim.batched` — the wave-batched NumPy engine for graphs
+  without inter-thread dependences: each static node is evaluated once
+  per injection wave over a vector of thread IDs, with completion times
+  computed analytically from edge latencies and issue-port contention,
+  and memory modelled by a compulsory-miss line model (mirrored into
+  the hierarchy counters as an estimate).  Two orders of magnitude
+  faster than the event engine at 4k+ threads, with bit-identical
+  outputs and identical operation counters.
+
+:func:`repro.sim.cycle.run_cycle_accurate` is the single entry point:
+``engine="auto"`` (the default) routes inter-thread-free graphs to the
+batched engine and everything else to the event engine; ``"event"`` and
+``"batched"`` force a specific engine.
+
+:mod:`repro.sim.multicore` scales beyond one core: an inter-thread-free
+launch is sharded block-cyclically across ``SystemConfig.cores``
+simulated cores, each with a private memory hierarchy, and the per-core
+stats are combined with :meth:`ExecutionStats.merge`.  Use
+:func:`repro.sim.multicore.run_sharded` to get the configured number of
+cores with automatic single-core fallback for communicating kernels.
+"""
+
+from repro.sim.batched import BatchedSimulator, run_batched
+from repro.sim.cycle import (
+    ENGINES,
+    CycleResult,
+    CycleSimulator,
+    resolve_engine,
+    run_cycle_accurate,
+)
 from repro.sim.functional import FunctionalResult, FunctionalSimulator, run_functional
 from repro.sim.launch import KernelLaunch
+from repro.sim.multicore import (
+    MulticoreResult,
+    run_multicore,
+    run_sharded,
+    shard_threads,
+)
 from repro.sim.stats import ExecutionStats
 
 __all__ = [
+    "BatchedSimulator",
     "CycleResult",
     "CycleSimulator",
+    "ENGINES",
     "ExecutionStats",
     "FunctionalResult",
     "FunctionalSimulator",
     "KernelLaunch",
+    "MulticoreResult",
+    "resolve_engine",
+    "run_batched",
     "run_cycle_accurate",
     "run_functional",
+    "run_multicore",
+    "run_sharded",
+    "shard_threads",
 ]

@@ -1,0 +1,569 @@
+"""Wave-batched NumPy execution engine for inter-thread-free kernels.
+
+The event-driven :class:`~repro.sim.cycle.CycleSimulator` schedules one
+heap event per token per edge, which is exact but costs minutes per
+configuration on the Figure 11/12 problem sizes.  The dMT-CGRA execution
+model is thread-parallel — the same static graph is traversed by
+thousands of tagged threads — so for graphs *without* inter-thread
+dependences (no ELEVATOR/ELDST/BARRIER nodes, see
+:meth:`DataflowGraph.has_interthread`) every thread's walk through the
+graph is independent and each static node can be evaluated once per
+injection wave over a NumPy vector of thread IDs, the way the ESL-CGRA
+simulator steps whole-array state per cycle instead of per token.
+
+Per-thread completion times are computed analytically:
+
+* a thread injected as the ``p``-th thread of this core becomes live at
+  cycle ``p // replicas`` (the streamer injects ``replicas`` threads per
+  cycle);
+* a node's operands are ready at the maximum over its input edges of the
+  producer's completion time plus the routed edge latency (injection
+  latency + one cycle per mapped NoC hop, exactly the event engine's
+  edge model);
+* issue-port contention is resolved with a deterministic multi-server
+  queue: the node's ``replicas`` issue ports each retire one operation
+  per cycle, and firings are serviced in ready order.  The recurrence
+  ``t_k = max(r_k, t_{k-ports} + 1)`` is evaluated in closed form with a
+  running maximum, so the whole queue is vectorised;
+* memory timing uses a vectorised compulsory-miss line model (first
+  touch of a cache line pays the full L1+L2+DRAM latency, later touches
+  the L1 hit latency).  The classification is mirrored into the
+  hierarchy's counters so the energy pipeline sees a consistent
+  estimate, but it approximates the event engine's exact cache model
+  (no capacity/conflict misses, MSHRs or bank conflicts).
+
+Outputs and memory contents are bit-identical to the event engine and
+all operation counters (``alu_ops``, ``fpu_ops``, ``global_loads``,
+``global_stores``, token/NoC counters, ...) are equal by construction;
+only the cycle estimate is analytic rather than event-exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.compiler.pipeline import CompiledKernel
+from repro.config.system import SystemConfig
+from repro.errors import DeadlockError, MemoryModelError, SimulationError
+from repro.graph.dfg import DataflowGraph
+from repro.graph.node import Node
+from repro.graph.opcodes import DType, Opcode, UnitClass
+from repro.graph.semantics import PURE_OPCODES, coerce
+from repro.kernel.geometry import ThreadGeometry
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.image import MemoryImage
+from repro.sim.cycle import CycleResult, edge_timing, unit_latency
+from repro.sim.launch import KernelLaunch
+from repro.sim.stats import ExecutionStats
+
+__all__ = ["BatchedSimulator", "run_batched"]
+
+_NP_DTYPE = {DType.F32: np.float64, DType.I32: np.int64, DType.BOOL: np.bool_}
+_U32_MASK = 0xFFFFFFFF
+
+_SOURCE_OPCODES = (
+    Opcode.CONST,
+    Opcode.TID_X,
+    Opcode.TID_Y,
+    Opcode.TID_Z,
+    Opcode.TID_LINEAR,
+)
+
+
+def _coerce_vec(values: np.ndarray, dtype: DType) -> np.ndarray:
+    """Vector form of :func:`repro.graph.semantics.coerce`."""
+    if dtype is DType.F32:
+        return values.astype(np.float64, copy=False)
+    if dtype is DType.BOOL:
+        return values.astype(np.bool_, copy=False)
+    if values.dtype.kind == "f":
+        # int(value) truncates toward zero, as does astype from float.
+        return np.trunc(values).astype(np.int64)
+    return values.astype(np.int64, copy=False)
+
+
+def _as_u32(values: np.ndarray) -> np.ndarray:
+    return values.astype(np.int64, copy=False) & _U32_MASK
+
+
+def _eval_pure_vec(node: Node, operands: list[np.ndarray]) -> np.ndarray:
+    """Vectorised twin of :func:`repro.graph.semantics.evaluate_pure`.
+
+    Every branch mirrors the scalar semantics bit for bit (including the
+    Python-style NaN/zero corner cases), so both engines produce the same
+    IEEE doubles.
+    """
+    op = node.opcode
+    dt = node.dtype
+    a = operands[0] if operands else None
+    b = operands[1] if len(operands) > 1 else None
+    c = operands[2] if len(operands) > 2 else None
+
+    if op is Opcode.ADD:
+        return _coerce_vec(a + b, dt)
+    if op is Opcode.SUB:
+        return _coerce_vec(a - b, dt)
+    if op is Opcode.MUL:
+        return _coerce_vec(a * b, dt)
+    if op is Opcode.DIV:
+        if dt.is_float:
+            af = a.astype(np.float64, copy=False)
+            bf = b.astype(np.float64, copy=False)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                out = af / bf
+            zero = bf == 0
+            if np.any(zero):
+                # Scalar semantics ignore the sign of a zero divisor.
+                out = np.where(
+                    zero,
+                    np.where(af > 0, math.inf, np.where(af < 0, -math.inf, math.nan)),
+                    out,
+                )
+            return out
+        ai = a.astype(np.int64, copy=False)
+        bi = b.astype(np.int64, copy=False)
+        if np.any(bi == 0):
+            raise SimulationError("integer division by zero in kernel graph")
+        q = np.abs(ai) // np.abs(bi)
+        return np.where((ai >= 0) == (bi >= 0), q, -q)
+    if op is Opcode.MOD:
+        if dt.is_float:
+            return np.fmod(a.astype(np.float64, copy=False), b.astype(np.float64, copy=False))
+        ai = a.astype(np.int64, copy=False)
+        bi = b.astype(np.int64, copy=False)
+        if np.any(bi == 0):
+            raise SimulationError("integer modulo by zero in kernel graph")
+        q = np.abs(ai) // np.abs(bi)
+        q = np.where((ai >= 0) == (bi >= 0), q, -q)
+        return ai - q * bi
+    if op is Opcode.MIN:
+        # Python's min(a, b) returns b only when b < a (NaN-order included).
+        return _coerce_vec(np.where(b < a, b, a), dt)
+    if op is Opcode.MAX:
+        return _coerce_vec(np.where(b > a, b, a), dt)
+    if op is Opcode.ABS:
+        return _coerce_vec(np.abs(a), dt)
+    if op is Opcode.NEG:
+        return _coerce_vec(-a, dt)
+    if op is Opcode.FMA:
+        return _coerce_vec(a * b + c, dt)
+
+    if op is Opcode.SQRT:
+        af = a.astype(np.float64, copy=False)
+        with np.errstate(invalid="ignore"):
+            return np.where(af >= 0, np.sqrt(np.abs(af)), math.nan)
+    if op is Opcode.RSQRT:
+        af = a.astype(np.float64, copy=False)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(af > 0, 1.0 / np.sqrt(np.abs(af)), math.inf)
+    if op is Opcode.EXP:
+        # math.exp/math.log are kept for bitwise parity with the scalar
+        # interpreter; SPECIAL ops are rare enough that the loop is cheap.
+        return np.array([math.exp(float(v)) for v in a], dtype=np.float64)
+    if op is Opcode.LOG:
+        return np.array(
+            [math.log(float(v)) if v > 0 else -math.inf for v in a], dtype=np.float64
+        )
+    if op is Opcode.RCP:
+        af = a.astype(np.float64, copy=False)
+        with np.errstate(divide="ignore"):
+            return np.where(af != 0, 1.0 / af, math.inf)
+
+    if op is Opcode.AND:
+        return _coerce_vec(_as_u32(a) & _as_u32(b), dt)
+    if op is Opcode.OR:
+        return _coerce_vec(_as_u32(a) | _as_u32(b), dt)
+    if op is Opcode.XOR:
+        return _coerce_vec(_as_u32(a) ^ _as_u32(b), dt)
+    if op is Opcode.NOT:
+        return _coerce_vec((~_as_u32(a)) & _U32_MASK, dt)
+    if op is Opcode.SHL:
+        shift = b.astype(np.int64, copy=False) & 31
+        return _coerce_vec((_as_u32(a) << shift) & _U32_MASK, dt)
+    if op is Opcode.SHR:
+        shift = b.astype(np.int64, copy=False) & 31
+        return _coerce_vec(_as_u32(a) >> shift, dt)
+
+    if op is Opcode.LT:
+        return a < b
+    if op is Opcode.LE:
+        return a <= b
+    if op is Opcode.GT:
+        return a > b
+    if op is Opcode.GE:
+        return a >= b
+    if op is Opcode.EQ:
+        return a == b
+    if op is Opcode.NE:
+        return a != b
+    if op is Opcode.LAND:
+        return a.astype(np.bool_) & b.astype(np.bool_)
+    if op is Opcode.LOR:
+        return a.astype(np.bool_) | b.astype(np.bool_)
+    if op is Opcode.LNOT:
+        return ~a.astype(np.bool_)
+
+    if op is Opcode.SELECT:
+        return _coerce_vec(np.where(a.astype(np.bool_), b, c), dt)
+    if op is Opcode.SPLIT:
+        return a
+    if op is Opcode.JOIN:
+        return a
+
+    raise SimulationError(f"batched engine cannot evaluate {op.value}")
+
+
+class BatchedSimulator:
+    """Wave-batched vectorised model of one (d)MT-CGRA core.
+
+    Only graphs without inter-thread dependences are supported; use
+    :func:`repro.sim.cycle.run_cycle_accurate` with ``engine="auto"`` to
+    fall back to the event engine automatically.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledKernel,
+        launch: KernelLaunch,
+        hierarchy: MemoryHierarchy | None = None,
+        max_cycles: int = 20_000_000,
+        wave_group: int = 1 << 14,
+        thread_ids: Sequence[int] | None = None,
+        memory: MemoryImage | None = None,
+    ) -> None:
+        if compiled.graph.metadata.get("num_threads") != launch.graph.metadata.get(
+            "num_threads"
+        ):
+            raise SimulationError("compiled kernel and launch disagree on thread count")
+        if compiled.graph.has_interthread():
+            raise SimulationError(
+                "the batched engine requires an inter-thread-free graph "
+                "(no ELEVATOR/ELDST/BARRIER nodes); use engine='event'"
+            )
+        if wave_group < 1:
+            raise SimulationError("wave_group must be positive")
+        self.compiled = compiled
+        self.config: SystemConfig = compiled.config
+        self.graph: DataflowGraph = compiled.graph
+        self.launch = launch
+        self.geometry: ThreadGeometry = ThreadGeometry(compiled.block_dim)
+        self.num_threads = self.geometry.num_threads
+        self.max_cycles = max_cycles
+        self.wave_group = int(wave_group)
+
+        if thread_ids is None:
+            self._thread_ids = np.arange(self.num_threads, dtype=np.int64)
+        else:
+            self._thread_ids = np.asarray(list(thread_ids), dtype=np.int64)
+            if self._thread_ids.size and (
+                self._thread_ids.min() < 0 or self._thread_ids.max() >= self.num_threads
+            ):
+                raise SimulationError("thread_ids outside the launch geometry")
+
+        self.memory = memory if memory is not None else launch.build_memory_image()
+        self.hierarchy = hierarchy or MemoryHierarchy(self.config.memory)
+        self.stats = ExecutionStats(threads=int(self._thread_ids.size))
+        self.outputs: dict[str, list[Any]] = {}
+
+        self._ports = max(1, compiled.replicas)
+        self._order = self.graph.topological_order(ignore_temporal=False)
+        self._inputs: dict[int, list[tuple[int, int]]] = {
+            node.node_id: sorted(self.graph.inputs_of(node.node_id).items())
+            for node in self._order
+        }
+        self._successors: dict[int, list[tuple[int, int]]] = {
+            node.node_id: self.graph.successors(node.node_id) for node in self._order
+        }
+        self._edge_latency, self._edge_hops = edge_timing(compiled)
+        self._sink_nodes = [
+            n.node_id
+            for n in self._order
+            if n.opcode in (Opcode.STORE, Opcode.SCRATCH_STORE, Opcode.OUTPUT)
+        ]
+        # Issue-queue tail per node: the last issue cycle of each port
+        # stream, carried across wave groups.
+        self._port_tail: dict[int, np.ndarray] = {
+            node.node_id: np.full(self._ports, -np.inf) for node in self._order
+        }
+        # Cache lines touched so far (compulsory-miss memory model).
+        self._touched_lines: set[int] = set()
+        mem = self.config.memory
+        self._line_bytes = mem.l1.line_bytes
+        self._hit_latency = mem.l1.hit_latency
+        self._miss_latency = mem.l1.hit_latency + mem.l2.hit_latency + mem.dram.access_latency
+        self._completion = 0.0
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> CycleResult:
+        if not self._sink_nodes:
+            raise SimulationError("kernel has no store or output nodes; nothing to run")
+        for node in self._order:
+            if node.opcode is Opcode.OUTPUT:
+                self.outputs.setdefault(str(node.param("name")), [None] * self.num_threads)
+
+        for start in range(0, self._thread_ids.size, self.wave_group):
+            tids = self._thread_ids[start : start + self.wave_group]
+            self._run_wave(tids, start)
+
+        cycles = int(self._completion)
+        if cycles > self.max_cycles:
+            raise DeadlockError(
+                f"simulation of '{self.graph.name}' exceeded {self.max_cycles} cycles"
+            )
+        self._accumulate_counters()
+        self.stats.cycles = cycles
+        return CycleResult(
+            cycles=cycles,
+            stats=self.stats,
+            memory=self.memory,
+            outputs=self.outputs,
+            hierarchy=self.hierarchy,
+        )
+
+    # ------------------------------------------------------------ wave driver
+    def _run_wave(self, tids: np.ndarray, offset: int) -> None:
+        """Evaluate every node once over the wave's thread-ID vector."""
+        n = tids.size
+        if n == 0:
+            return
+        replicas = self._ports
+        inject = ((offset + np.arange(n, dtype=np.int64)) // replicas).astype(np.float64)
+
+        values: dict[int, np.ndarray] = {}
+        avail: dict[int, np.ndarray] = {}
+        uses = {nid: len(succ) for nid, succ in self._successors.items()}
+
+        for node in self._order:
+            nid = node.node_id
+            if node.opcode in _SOURCE_OPCODES:
+                values[nid] = self._source_value(node, tids, n)
+                avail[nid] = inject
+            else:
+                inputs = self._inputs[nid]
+                operands = [values[src] for _, src in inputs]
+                ready = inject
+                for _, src in inputs:
+                    ready = np.maximum(ready, avail[src] + self._edge_latency[(src, nid)])
+                issue = self._issue(nid, ready)
+                values[nid], avail[nid] = self._execute(node, tids, operands, issue)
+                for _, src in inputs:
+                    uses[src] -= 1
+                    if uses[src] == 0:
+                        del values[src]
+            if uses[nid] == 0:
+                values.pop(nid, None)
+
+    def _source_value(self, node: Node, tids: np.ndarray, n: int) -> np.ndarray:
+        op = node.opcode
+        if op is Opcode.CONST:
+            scalar = coerce(node.param("value"), node.dtype)
+            return np.full(n, scalar, dtype=_NP_DTYPE[node.dtype])
+        dx, dy, _ = (self.geometry.block_dim + (1, 1, 1))[:3]
+        if op is Opcode.TID_X:
+            return tids % dx
+        if op is Opcode.TID_Y:
+            return (tids // dx) % dy
+        if op is Opcode.TID_Z:
+            return tids // (dx * dy)
+        return tids.copy()  # TID_LINEAR
+
+    # ----------------------------------------------------------- issue ports
+    def _issue(self, nid: int, ready: np.ndarray) -> np.ndarray:
+        """Deterministic multi-server queue over the node's issue ports.
+
+        Firings are serviced in ready order, assigned round-robin to the
+        ``replicas`` ports; each port retires one operation per cycle.
+        ``t_k = max(r_k, t_{k-ports} + 1)`` has the closed form
+        ``t_i = i + cummax(r_i - i)`` along each port stream.
+        """
+        ports = self._ports
+        order = np.argsort(ready, kind="stable")
+        r = ready[order]
+        issue_sorted = np.empty_like(r)
+        tail = self._port_tail[nid]
+        for p in range(ports):
+            seq = r[p::ports]
+            if seq.size == 0:
+                continue
+            idx = np.arange(seq.size, dtype=np.float64)
+            t = idx + np.maximum.accumulate(seq - idx)
+            t = np.maximum(t, tail[p] + 1.0 + idx)
+            issue_sorted[p::ports] = t
+            tail[p] = t[-1]
+        issue = np.empty_like(r)
+        issue[order] = issue_sorted
+        return issue
+
+    # -------------------------------------------------------------- execution
+    def _execute(
+        self, node: Node, tids: np.ndarray, operands: list[np.ndarray], issue: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        op = node.opcode
+        latency = unit_latency(self.config, node)
+        if op in PURE_OPCODES:
+            return _eval_pure_vec(node, operands), issue + latency
+        if op is Opcode.LOAD:
+            value, complete = self._access_global(node, operands[0], issue, store_value=None)
+            return value, complete
+        if op is Opcode.STORE:
+            value, complete = self._access_global(
+                node, operands[0], issue, store_value=operands[1]
+            )
+            self._completion = max(self._completion, float(complete.max()))
+            return value, complete
+        if op is Opcode.SCRATCH_LOAD:
+            value, complete = self._access_scratch(node, operands[0], issue, store_value=None)
+            return value, complete
+        if op is Opcode.SCRATCH_STORE:
+            value, complete = self._access_scratch(
+                node, operands[0], issue, store_value=operands[1]
+            )
+            self._completion = max(self._completion, float(complete.max()))
+            return value, complete
+        if op is Opcode.OUTPUT:
+            name = str(node.param("name"))
+            slot = self.outputs[name]
+            for tid, value in zip(tids.tolist(), operands[0].tolist()):
+                slot[tid] = value
+            complete = issue + 1.0
+            self._completion = max(self._completion, float(complete.max()))
+            return operands[0], complete
+        raise SimulationError(f"batched engine cannot execute {op.value}")
+
+    def _checked_indices(self, node: Node, index: np.ndarray, length: int) -> np.ndarray:
+        idx = _coerce_vec(index, DType.I32)
+        bad = (idx < 0) | (idx >= length)
+        if np.any(bad):
+            offender = int(idx[np.argmax(bad)])
+            raise MemoryModelError(
+                f"{'store' if node.opcode in (Opcode.STORE, Opcode.SCRATCH_STORE) else 'load'} "
+                f"out of bounds: {node.param('array')}[{offender}] (length {length})"
+            )
+        return idx
+
+    def _access_global(
+        self,
+        node: Node,
+        index: np.ndarray,
+        issue: np.ndarray,
+        store_value: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        name = str(node.param("array"))
+        spec = self.memory.spec(name)
+        backing = self.memory.array(name)
+        idx = self._checked_indices(node, index, spec.length)
+        addresses = spec.base_address + idx * spec.elem_bytes
+        complete = issue + self._line_model_latency(addresses, is_store=store_value is not None)
+        if store_value is None:
+            return _coerce_vec(backing[idx], node.dtype), complete
+        backing[idx] = store_value
+        return store_value, complete
+
+    def _access_scratch(
+        self,
+        node: Node,
+        index: np.ndarray,
+        issue: np.ndarray,
+        store_value: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        name = str(node.param("array"))
+        spec = self.memory.spec(name)
+        backing = self.memory.array(name)
+        idx = self._checked_indices(node, index, spec.length)
+        complete = issue + float(self.config.memory.scratchpad.access_latency)
+        scratch = self.hierarchy.scratchpad.stats
+        if store_value is None:
+            scratch.reads += idx.size
+            return _coerce_vec(backing[idx], node.dtype), complete
+        scratch.writes += idx.size
+        backing[idx] = store_value
+        return store_value, complete
+
+    def _line_model_latency(self, addresses: np.ndarray, is_store: bool) -> np.ndarray:
+        """Compulsory-miss line model: first touch of a line pays the full
+        L1+L2+DRAM latency, every later access the L1 hit latency.
+
+        The classification is mirrored into the hierarchy's own counters
+        (L1 hit/miss, one L2 miss and one DRAM transfer per new line) so
+        the energy pipeline sees a consistent estimate; the event engine
+        remains the exact reference for memory-system behaviour.
+        """
+        lines = addresses // self._line_bytes
+        uniq, first_index = np.unique(lines, return_index=True)
+        miss = np.zeros(addresses.size, dtype=bool)
+        touched = self._touched_lines
+        for line, pos in zip(uniq.tolist(), first_index.tolist()):
+            if line not in touched:
+                miss[pos] = True
+                touched.add(line)
+        misses = int(miss.sum())
+        hits = addresses.size - misses
+        l1, l2, dram = self.hierarchy.l1.stats, self.hierarchy.l2.stats, self.hierarchy.dram.stats
+        if is_store:
+            l1.write_hits += hits
+            l1.write_misses += misses
+            l2.write_misses += misses
+            dram.writes += misses
+        else:
+            l1.read_hits += hits
+            l1.read_misses += misses
+            l2.read_misses += misses
+            dram.reads += misses
+        if misses:
+            self.stats.bump("batched_line_misses", misses)
+        self.stats.bump("batched_line_hits", hits)
+        return np.where(miss, float(self._miss_latency), float(self._hit_latency))
+
+    # ------------------------------------------------------------- counters
+    def _accumulate_counters(self) -> None:
+        """Token, NoC and functional-unit counters.
+
+        Every node fires exactly once per thread (there are no boundary
+        cases without inter-thread nodes), so each counter is a per-graph
+        constant times the thread count — by construction equal to what
+        the event engine accumulates one token at a time.
+        """
+        n = int(self._thread_ids.size)
+        stats = self.stats
+        for node in self._order:
+            nid = node.node_id
+            succ = self._successors[nid]
+            stats.tokens_sent += len(succ) * n
+            for dst, _ in succ:
+                stats.noc_hops += self._edge_hops[(nid, dst)] * n
+            if node.opcode in _SOURCE_OPCODES:
+                continue
+            stats.token_buffer_inserts += len(self._inputs[nid]) * n
+            stats.token_buffer_matches += n
+            cls = node.unit_class
+            if cls is UnitClass.ALU:
+                stats.alu_ops += n
+            elif cls is UnitClass.FPU:
+                stats.fpu_ops += n
+            elif cls is UnitClass.SPECIAL:
+                stats.special_ops += n
+            elif cls is UnitClass.CONTROL:
+                stats.control_ops += n
+            elif cls is UnitClass.SPLIT_JOIN:
+                stats.split_join_ops += n
+            if node.opcode is Opcode.LOAD:
+                stats.global_loads += n
+            elif node.opcode is Opcode.STORE:
+                stats.global_stores += n
+            elif node.opcode is Opcode.SCRATCH_LOAD:
+                stats.scratch_loads += n
+            elif node.opcode is Opcode.SCRATCH_STORE:
+                stats.scratch_stores += n
+
+
+def run_batched(
+    compiled: CompiledKernel,
+    launch: KernelLaunch,
+    hierarchy: MemoryHierarchy | None = None,
+    max_cycles: int = 20_000_000,
+) -> CycleResult:
+    """Convenience wrapper mirroring :func:`run_cycle_accurate`."""
+    return BatchedSimulator(compiled, launch, hierarchy=hierarchy, max_cycles=max_cycles).run()

@@ -32,7 +32,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -52,7 +52,16 @@ from repro.memory.request import AccessType
 from repro.sim.launch import KernelLaunch
 from repro.sim.stats import ExecutionStats
 
-__all__ = ["CycleResult", "CycleSimulator", "run_cycle_accurate"]
+__all__ = [
+    "CycleResult",
+    "CycleSimulator",
+    "ENGINES",
+    "build_simulator",
+    "edge_timing",
+    "resolve_engine",
+    "run_cycle_accurate",
+    "unit_latency",
+]
 
 
 @dataclass
@@ -84,6 +93,45 @@ _EV_FORWARD = 1
 _EV_INJECT = 2
 
 
+def edge_timing(
+    compiled: CompiledKernel,
+) -> tuple[dict[tuple[int, int], int], dict[tuple[int, int], int]]:
+    """Per-edge ``(latency, hops)`` maps shared by both engines.
+
+    Token transfer latency is the NoC injection latency plus one
+    ``hop_latency`` per mapped hop, clamped to at least one cycle; the
+    hop count itself is what ``noc_hops`` accounting uses.  Keeping this
+    in one place is part of the engines' equivalence contract.
+    """
+    noc = compiled.config.noc
+    latency: dict[tuple[int, int], int] = {}
+    hops_of: dict[tuple[int, int], int] = {}
+    for edge in compiled.graph.edges():
+        hops = compiled.edge_hops(edge.src, edge.dst)
+        latency[(edge.src, edge.dst)] = max(1, noc.injection_latency + hops * noc.hop_latency)
+        hops_of[(edge.src, edge.dst)] = hops
+    return latency, hops_of
+
+
+def unit_latency(config: SystemConfig, node: Node) -> int:
+    """Pipeline latency of the functional unit that hosts ``node``."""
+    lat = config.latency
+    table = {
+        UnitClass.ALU: lat.alu,
+        UnitClass.FPU: lat.fpu,
+        UnitClass.SPECIAL: lat.special,
+        UnitClass.CONTROL: lat.control,
+        UnitClass.SPLIT_JOIN: lat.split_join,
+        UnitClass.ELEVATOR: lat.elevator,
+        UnitClass.BARRIER: lat.control,
+        UnitClass.LDST: lat.ldst_issue,
+        UnitClass.ELDST: lat.ldst_issue,
+        UnitClass.SINK: 1,
+        UnitClass.SOURCE: 0,
+    }
+    return table[node.unit_class]
+
+
 @dataclass
 class _NodeState:
     """Mutable per-node simulation state."""
@@ -91,7 +139,7 @@ class _NodeState:
     node: Node
     arity: int
     latency: int
-    port_free_at: list[float] = field(default_factory=list)
+    port_free_at: list[int] = field(default_factory=list)
     pending: dict[int, dict[int, Any]] = field(default_factory=dict)
     # eLDST-specific: forwarded values waiting for their consumer thread and
     # consumer threads waiting for their forwarded value.
@@ -111,6 +159,8 @@ class CycleSimulator:
         launch: KernelLaunch,
         hierarchy: MemoryHierarchy | None = None,
         max_cycles: int = 20_000_000,
+        thread_ids: "Sequence[int] | None" = None,
+        memory: MemoryImage | None = None,
     ) -> None:
         if compiled.graph.metadata.get("num_threads") != launch.graph.metadata.get(
             "num_threads"
@@ -123,12 +173,27 @@ class CycleSimulator:
         self.geometry: ThreadGeometry = ThreadGeometry(compiled.block_dim)
         self.num_threads = self.geometry.num_threads
         self.max_cycles = max_cycles
+        # The subset of threads this core executes (multi-core sharding).
+        # Inter-thread communication cannot cross cores, so subsets are only
+        # legal for graphs without inter-thread dependences.
+        if thread_ids is None:
+            self._thread_ids = list(range(self.num_threads))
+        else:
+            self._thread_ids = [int(t) for t in thread_ids]
+            if self._thread_ids and (
+                min(self._thread_ids) < 0 or max(self._thread_ids) >= self.num_threads
+            ):
+                raise SimulationError("thread_ids outside the launch geometry")
+            if len(self._thread_ids) != self.num_threads and self.graph.has_interthread():
+                raise SimulationError(
+                    "cannot simulate a thread subset of a graph with inter-thread "
+                    "dependences (ELEVATOR/ELDST/BARRIER nodes)"
+                )
 
-        self.memory = MemoryImage(launch.arrays.values())
-        self.memory.initialise(launch.inputs)
+        self.memory = memory if memory is not None else launch.build_memory_image()
         self.hierarchy = hierarchy or MemoryHierarchy(self.config.memory)
         self.lvc = LiveValueCache()
-        self.stats = ExecutionStats(threads=self.num_threads)
+        self.stats = ExecutionStats(threads=len(self._thread_ids))
         self.outputs: dict[str, list[Any]] = {}
 
         self._events: list[tuple[int, int, int, tuple]] = []
@@ -136,6 +201,7 @@ class CycleSimulator:
         self._nodes: dict[int, _NodeState] = {}
         self._successors: dict[int, list[tuple[int, int]]] = {}
         self._edge_latency: dict[tuple[int, int], int] = {}
+        self._edge_hops: dict[tuple[int, int], int] = {}
         self._sink_nodes: list[int] = []
         self._sink_done: dict[int, int] = {}
         self._retired = 0
@@ -145,21 +211,7 @@ class CycleSimulator:
 
     # ------------------------------------------------------------------ setup
     def _latency_of(self, node: Node) -> int:
-        lat = self.config.latency
-        table = {
-            UnitClass.ALU: lat.alu,
-            UnitClass.FPU: lat.fpu,
-            UnitClass.SPECIAL: lat.special,
-            UnitClass.CONTROL: lat.control,
-            UnitClass.SPLIT_JOIN: lat.split_join,
-            UnitClass.ELEVATOR: lat.elevator,
-            UnitClass.BARRIER: lat.control,
-            UnitClass.LDST: lat.ldst_issue,
-            UnitClass.ELDST: lat.ldst_issue,
-            UnitClass.SINK: 1,
-            UnitClass.SOURCE: 0,
-        }
-        return table[node.unit_class]
+        return unit_latency(self.config, node)
 
     def _prepare(self) -> None:
         replicas = self.compiled.replicas
@@ -168,7 +220,7 @@ class CycleSimulator:
                 node=node,
                 arity=self.graph.arity_of(node.node_id),
                 latency=self._latency_of(node),
-                port_free_at=[0.0] * max(1, replicas),
+                port_free_at=[0] * max(1, replicas),
             )
             self._nodes[node.node_id] = state
             self._successors[node.node_id] = self.graph.successors(node.node_id)
@@ -178,11 +230,8 @@ class CycleSimulator:
                 self.outputs.setdefault(
                     str(node.param("name")), [None] * self.num_threads
                 )
-        for edge in self.graph.edges():
-            hops = self.compiled.edge_hops(edge.src, edge.dst)
-            latency = self.config.noc.injection_latency + hops * self.config.noc.hop_latency
-            self._edge_latency[(edge.src, edge.dst)] = max(1, latency)
-        self._sink_done = {tid: 0 for tid in range(self.num_threads)}
+        self._edge_latency, self._edge_hops = edge_timing(self.compiled)
+        self._sink_done = {tid: 0 for tid in self._thread_ids}
 
     # ------------------------------------------------------------------ events
     def _push(self, cycle: int, kind: int, payload: tuple) -> None:
@@ -192,7 +241,9 @@ class CycleSimulator:
         for dst, port in self._successors[node_id]:
             latency = self._edge_latency[(node_id, dst)]
             self.stats.tokens_sent += 1
-            self.stats.noc_hops += max(0, latency - self.config.noc.injection_latency)
+            # One token traverses the mapped route exactly once; hops come
+            # from the routed mapping, not from the clamped edge latency.
+            self.stats.noc_hops += self._edge_hops[(node_id, dst)]
             self._push(cycle + latency, _EV_TOKEN, (dst, port, tid, value))
 
     # ------------------------------------------------------------------- run
@@ -215,7 +266,7 @@ class CycleSimulator:
             elif kind == _EV_FORWARD:
                 self._forward_ready(payload[0], payload[1], payload[2], cycle)
 
-        if self._retired != self.num_threads:
+        if self._retired != len(self._thread_ids):
             missing = [t for t, done in self._sink_done.items() if done < total_sinks]
             raise DeadlockError(
                 f"kernel '{self.graph.name}' deadlocked: {len(missing)} thread(s) never "
@@ -234,8 +285,8 @@ class CycleSimulator:
     # --------------------------------------------------------------- injection
     def _schedule_injection(self) -> None:
         replicas = max(1, self.compiled.replicas)
-        for tid in range(self.num_threads):
-            self._push(tid // replicas, _EV_INJECT, (tid,))
+        for position, tid in enumerate(self._thread_ids):
+            self._push(position // replicas, _EV_INJECT, (tid,))
 
     def _inject_thread(self, tid: int, cycle: int) -> None:
         for node_id, state in self._nodes.items():
@@ -288,11 +339,15 @@ class CycleSimulator:
             self._fire(state, tid, operands, cycle)
 
     def _issue_cycle(self, state: _NodeState, ready_cycle: int) -> int:
-        """Account for the node's issue port (one op per cycle per replica)."""
+        """Account for the node's issue port (one op per cycle per replica).
+
+        Bookkeeping is kept in whole cycles so the issue cycle is exact;
+        the previous float bookkeeping truncated through ``int(start)``.
+        """
         port_index = min(range(len(state.port_free_at)), key=state.port_free_at.__getitem__)
-        start = max(float(ready_cycle), state.port_free_at[port_index])
-        state.port_free_at[port_index] = start + 1.0
-        return int(start)
+        start = max(int(ready_cycle), state.port_free_at[port_index])
+        state.port_free_at[port_index] = start + 1
+        return start
 
     # -------------------------------------------------------------------- fire
     def _fire(self, state: _NodeState, tid: int, operands: list[Any], cycle: int) -> None:
@@ -495,10 +550,82 @@ class CycleSimulator:
             self._retired += 1
 
 
+#: Engines selectable through :func:`run_cycle_accurate`.
+ENGINES = ("auto", "event", "batched")
+
+
+def resolve_engine(engine: str, graph: DataflowGraph) -> str:
+    """Resolve ``"auto"`` to a concrete engine for ``graph``.
+
+    Graphs without inter-thread dependences (no ELEVATOR/ELDST/BARRIER
+    nodes) run on the wave-batched NumPy engine; everything else runs on
+    the event-driven simulator, which models token forwarding exactly.
+    """
+    if engine not in ENGINES:
+        raise SimulationError(f"unknown engine '{engine}'; expected one of {ENGINES}")
+    if engine != "auto":
+        return engine
+    return "event" if graph.has_interthread() else "batched"
+
+
+def build_simulator(
+    compiled: CompiledKernel,
+    launch: KernelLaunch,
+    engine: str = "auto",
+    hierarchy: MemoryHierarchy | None = None,
+    max_cycles: int = 20_000_000,
+    thread_ids: Sequence[int] | None = None,
+    memory: MemoryImage | None = None,
+):
+    """Construct the simulator for ``engine`` (the single dispatch site).
+
+    Used by :func:`run_cycle_accurate` and the multi-core sharding layer
+    so engine selection and construction live in one place.
+    """
+    resolved = resolve_engine(engine, compiled.graph)
+    if resolved == "batched":
+        from repro.sim.batched import BatchedSimulator
+
+        return BatchedSimulator(
+            compiled,
+            launch,
+            hierarchy=hierarchy,
+            max_cycles=max_cycles,
+            thread_ids=thread_ids,
+            memory=memory,
+        )
+    return CycleSimulator(
+        compiled,
+        launch,
+        hierarchy=hierarchy,
+        max_cycles=max_cycles,
+        thread_ids=thread_ids,
+        memory=memory,
+    )
+
+
 def run_cycle_accurate(
     compiled: CompiledKernel,
     launch: KernelLaunch,
     hierarchy: MemoryHierarchy | None = None,
+    engine: str = "auto",
+    max_cycles: int = 20_000_000,
 ) -> CycleResult:
-    """Convenience wrapper: simulate ``compiled`` with the data of ``launch``."""
-    return CycleSimulator(compiled, launch, hierarchy=hierarchy).run()
+    """Simulate ``compiled`` with the data of ``launch``.
+
+    ``engine`` selects the execution engine: ``"event"`` is the exact
+    event-driven model, ``"batched"`` the wave-batched NumPy engine for
+    inter-thread-free graphs, and ``"auto"`` (the default) picks the
+    fastest engine that can execute the graph.  Both engines produce
+    bit-identical outputs and identical operation counters; the batched
+    engine's cycle count and memory-hierarchy counters are analytic
+    estimates from its vectorised line model.  ``"auto"`` therefore
+    resolves to the event engine when a ``hierarchy`` is passed in
+    explicitly — a caller handing over a hierarchy wants its exact,
+    event-accurate counters.
+    """
+    if engine == "auto" and hierarchy is not None:
+        engine = "event"
+    return build_simulator(
+        compiled, launch, engine=engine, hierarchy=hierarchy, max_cycles=max_cycles
+    ).run()

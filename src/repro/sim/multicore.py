@@ -1,0 +1,180 @@
+"""Multi-core sharded execution of one kernel launch.
+
+The paper evaluates one thread block on one core (Sec. 5.1); this module
+is the scaling layer on top of that model: a :class:`KernelLaunch` is
+sharded across ``SystemConfig.cores`` simulated cores with a block-cyclic
+thread partition.  Each core runs its thread subset on its own
+:class:`~repro.memory.hierarchy.MemoryHierarchy` (private L1/L2/DRAM
+timing state) against the shared functional memory image, and the
+per-core :class:`~repro.sim.stats.ExecutionStats` are combined with
+:meth:`ExecutionStats.merge` (cycles take the maximum — the cores run
+concurrently — and volume counters the sum).
+
+Sharding requires an inter-thread-free graph: ELEVATOR/ELDST/BARRIER
+nodes couple threads, and tokens cannot cross cores.  Use
+:func:`run_sharded`, which transparently falls back to a single core for
+graphs that do communicate between threads (inter-thread communication
+stays confined to one core, matching the paper's one-block-per-core
+model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.compiler.pipeline import CompiledKernel
+from repro.errors import SimulationError
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.image import MemoryImage
+from repro.sim.cycle import CycleResult, build_simulator, run_cycle_accurate
+from repro.sim.launch import KernelLaunch
+from repro.sim.stats import ExecutionStats
+
+__all__ = ["MulticoreResult", "shard_threads", "run_multicore", "run_sharded"]
+
+
+@dataclass
+class MulticoreResult:
+    """Outcome of a sharded run; mirrors :class:`CycleResult`'s query API."""
+
+    cycles: int
+    stats: ExecutionStats
+    memory: MemoryImage
+    outputs: dict[str, list[Any]]
+    core_results: list[CycleResult] = field(default_factory=list)
+
+    @property
+    def cores(self) -> int:
+        return len(self.core_results)
+
+    def array(self, name: str) -> np.ndarray:
+        return self.memory.array(name)
+
+    def output(self, name: str) -> list[Any]:
+        return self.outputs[name]
+
+    def counters(self) -> dict[str, int | float]:
+        """Merged execution counters plus summed per-core hierarchy counters."""
+        merged: dict[str, int | float] = dict(self.stats.as_dict())
+        for result in self.core_results:
+            for key, value in result.hierarchy.stats().flat().items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+
+def shard_threads(num_threads: int, cores: int, block: int) -> list[np.ndarray]:
+    """Block-cyclic partition of ``range(num_threads)`` over ``cores``.
+
+    Consecutive blocks of ``block`` linear thread IDs are dealt to the
+    cores round-robin, so every core sees a representative slice of the
+    TID space (and therefore of the address space) instead of one
+    contiguous chunk.
+    """
+    if cores < 1:
+        raise SimulationError("cores must be >= 1")
+    if block < 1:
+        raise SimulationError("shard block size must be >= 1")
+    tids = np.arange(num_threads, dtype=np.int64)
+    owner = (tids // block) % cores
+    return [tids[owner == core] for core in range(cores)]
+
+
+def run_multicore(
+    compiled: CompiledKernel,
+    launch: KernelLaunch,
+    cores: int | None = None,
+    engine: str = "auto",
+    block: int | None = None,
+    max_cycles: int = 20_000_000,
+) -> MulticoreResult:
+    """Shard ``launch`` across ``cores`` simulated cores and run them.
+
+    The cores are simulated sequentially but modelled as concurrent:
+    each gets a private memory hierarchy and its own injection stream,
+    and the merged ``cycles`` is the maximum over cores.
+    """
+    config = compiled.config
+    cores = config.cores if cores is None else int(cores)
+    if cores < 1:
+        raise SimulationError("cores must be >= 1")
+    if compiled.graph.has_interthread():
+        raise SimulationError(
+            "cannot shard a graph with inter-thread dependences "
+            "(ELEVATOR/ELDST/BARRIER nodes) across cores; use run_sharded() "
+            "to fall back to a single core"
+        )
+    block = max(1, compiled.replicas) if block is None else int(block)
+
+    memory = launch.build_memory_image()
+    shards = shard_threads(compiled.num_threads, cores, block)
+    core_results: list[CycleResult] = []
+    stats: ExecutionStats | None = None
+    outputs: dict[str, list[Any]] = {}
+    for shard in shards:
+        if shard.size == 0:
+            continue
+        simulator = build_simulator(
+            compiled,
+            launch,
+            engine=engine,
+            hierarchy=MemoryHierarchy(config.memory),
+            max_cycles=max_cycles,
+            thread_ids=shard,
+            memory=memory,
+        )
+        result = simulator.run()
+        core_results.append(result)
+        stats = result.stats if stats is None else stats.merge(result.stats)
+        for name, values in result.outputs.items():
+            slot = outputs.setdefault(name, [None] * compiled.num_threads)
+            for tid in shard.tolist():
+                slot[tid] = values[tid]
+    if stats is None:
+        raise SimulationError("launch has no threads to shard")
+
+    return MulticoreResult(
+        cycles=stats.cycles,
+        stats=stats,
+        memory=memory,
+        outputs=outputs,
+        core_results=core_results,
+    )
+
+
+def run_sharded(
+    compiled: CompiledKernel,
+    launch: KernelLaunch,
+    engine: str = "auto",
+    cores: int | None = None,
+    block: int | None = None,
+    max_cycles: int = 20_000_000,
+) -> CycleResult | MulticoreResult:
+    """Run ``launch`` on the configured number of cores.
+
+    Inter-thread-free kernels are sharded block-cyclically across
+    ``cores`` (default ``SystemConfig.cores``); kernels that communicate
+    between threads fall back to a single core, because tokens cannot
+    cross the core boundary.  The ``engine`` request is best-effort in
+    the same way: forcing ``"batched"`` applies it wherever the graph is
+    legal for it and quietly uses the event engine for communicating
+    kernels, so suite-wide sweeps (``--engine batched``) run everything
+    instead of failing on the first barrier.
+    """
+    cores = compiled.config.cores if cores is None else int(cores)
+    if compiled.graph.has_interthread() and engine == "batched":
+        engine = "event"
+    if cores <= 1 or compiled.graph.has_interthread():
+        return run_cycle_accurate(
+            compiled, launch, engine=engine, max_cycles=max_cycles
+        )
+    return run_multicore(
+        compiled,
+        launch,
+        cores=cores,
+        engine=engine,
+        block=block,
+        max_cycles=max_cycles,
+    )

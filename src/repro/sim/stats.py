@@ -63,7 +63,7 @@ class ExecutionStats:
     extra: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ helpers
-    def bump(self, name: str, amount: int = 1) -> None:
+    def bump(self, name: str, amount: int | float = 1) -> None:
         """Increment a named counter (core field or ``extra``)."""
         if hasattr(self, name) and name != "extra":
             setattr(self, name, getattr(self, name) + amount)
@@ -125,12 +125,29 @@ class ExecutionStats:
         return out
 
     def merge(self, other: "ExecutionStats") -> "ExecutionStats":
-        """Element-wise sum of two stats objects (cycles take the maximum)."""
+        """Combine the stats of two cores running in parallel.
+
+        Counters are summed element-wise without coercion, so float-valued
+        ``extra`` counters (e.g. merged in from the memory hierarchy) keep
+        their fractional part.  ``cycles`` takes the maximum (the cores run
+        concurrently), ``threads`` the total, and ``instructions_per_lane``
+        — a per-lane average, not a volume counter — is averaged weighted
+        by the thread count of each side.
+        """
         merged = ExecutionStats()
         for name, value in self.as_dict().items():
-            merged.bump(name, int(value))
+            merged.bump(name, value)
         for name, value in other.as_dict().items():
-            merged.bump(name, int(value))
+            merged.bump(name, value)
         merged.cycles = max(self.cycles, other.cycles)
         merged.threads = self.threads + other.threads
+        if merged.threads:
+            merged.instructions_per_lane = (
+                self.instructions_per_lane * self.threads
+                + other.instructions_per_lane * other.threads
+            ) // merged.threads
+        else:
+            merged.instructions_per_lane = (
+                self.instructions_per_lane + other.instructions_per_lane
+            ) // 2
         return merged

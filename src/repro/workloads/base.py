@@ -45,11 +45,13 @@ class PreparedWorkload:
     expected: dict[str, np.ndarray]
 
     def launch(self, architecture: str) -> KernelLaunch:
-        """Build the dataflow launch for ``mt`` or ``dmt``."""
+        """Build the dataflow launch for ``mt``, ``dmt`` or ``stream``."""
         if architecture == "mt":
             graph = self.workload.build_mt(self.params)
         elif architecture == "dmt":
             graph = self.workload.build_dmt(self.params)
+        elif architecture == "stream":
+            graph = self.workload.build_stream(self.params)
         else:
             raise WorkloadError(
                 f"architecture '{architecture}' does not run a dataflow graph"
@@ -125,6 +127,23 @@ class Workload(abc.ABC):
     @abc.abstractmethod
     def build_fermi(self, params: Mapping[str, Any]) -> SimtProgram:
         """Fermi baseline SIMT program (shared memory + barrier)."""
+
+    def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Inter-thread-free ("streaming") kernel graph, if the workload has one.
+
+        Every thread loads its own operands from global memory — no
+        scratchpad, barriers or inter-thread forwarding — which is the
+        form the wave-batched engine and multi-core sharding can execute.
+        Workloads whose algorithm fundamentally shares data between
+        threads (e.g. scan's running recurrence) do not override this.
+        """
+        raise WorkloadError(
+            f"workload '{self.name}' has no streaming (inter-thread-free) variant"
+        )
+
+    def has_stream_variant(self) -> bool:
+        """True if :meth:`build_stream` is overridden by this workload."""
+        return type(self).build_stream is not Workload.build_stream
 
     # -------------------------------------------------------------- conveniences
     def params_with_defaults(self, overrides: Mapping[str, Any] | None = None) -> dict[str, Any]:

@@ -65,6 +65,29 @@ class ConvolutionWorkload(Workload):
         b.store("out", tid, result)
         return b.finish()
 
+    # ---------------------------------------------------------------- stream
+    def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Inter-thread-free variant: each thread re-loads its neighbours
+        from global memory (clamped indices, zero-masked margins) instead
+        of receiving them from threads ``tid ± 1``."""
+        n, k0, k1, k2 = params["n"], params["k0"], params["k1"], params["k2"]
+        b = KernelBuilder("convolution_stream", n)
+        b.global_array("img", n)
+        b.global_array("out", n)
+        tid = b.thread_idx_x()
+        center = b.load("img", tid)
+
+        left_idx = b.maximum(tid - 1, 0)
+        left_raw = b.load("img", left_idx)
+        left = b.select(tid > 0, left_raw, 0.0)
+        right_idx = b.minimum(tid + 1, n - 1)
+        right_raw = b.load("img", right_idx)
+        right = b.select(tid < (n - 1), right_raw, 0.0)
+
+        result = left * k0 + center * k1 + right * k2
+        b.store("out", tid, result)
+        return b.finish()
+
     # -------------------------------------------------------------------- MT
     def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
         n, k0, k1, k2 = params["n"], params["k0"], params["k1"], params["k2"]

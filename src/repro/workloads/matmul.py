@@ -82,6 +82,29 @@ class MatmulWorkload(Workload):
         b.store("c", tid, acc)
         return b.finish()
 
+    # ---------------------------------------------------------------- stream
+    def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Inter-thread-free variant: every thread loads its full row of A
+        and column of B itself (the naive ``2 * dim^3``-load kernel the
+        paper's forwarding optimisation starts from)."""
+        dim = params["dim"]
+        b = KernelBuilder("matrixMul_stream", (dim, dim))
+        b.global_array("a", dim * dim)
+        b.global_array("b", dim * dim)
+        b.global_array("c", dim * dim)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+
+        row_base = ty * dim
+        acc = b.const(0.0)
+        for i in range(dim):
+            a_val = b.load("a", row_base + i)
+            b_val = b.load("b", b.const(i * dim) + tx)
+            acc = b.fma(a_val, b_val, acc)
+        b.store("c", tid, acc)
+        return b.finish()
+
     # -------------------------------------------------------------------- MT
     def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
         dim = params["dim"]

@@ -89,6 +89,26 @@ class ReduceWorkload(Workload):
         b.store("partials", tid, current)
         return b.finish()
 
+    # ---------------------------------------------------------------- stream
+    def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Inter-thread-free variant: each thread loads its whole window
+        suffix from global memory and accumulates it directly (``window``
+        loads per thread instead of a shared reduction tree)."""
+        n, window, _ = self._check(params)
+        b = KernelBuilder("reduce_stream", n)
+        b.global_array("in_data", n)
+        b.global_array("partials", n)
+        tid = b.thread_idx_x()
+        window_pos = tid % window
+        acc = b.load("in_data", tid)
+        for i in range(1, window):
+            idx = b.minimum(tid + i, n - 1)
+            val = b.load("in_data", idx)
+            in_window = window_pos < (window - i)
+            acc = acc + b.select(in_window, val, 0.0)
+        b.store("partials", tid, acc)
+        return b.finish()
+
     # -------------------------------------------------------------------- MT
     def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
         n, window, levels = self._check(params)

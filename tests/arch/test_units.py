@@ -54,8 +54,29 @@ def test_token_buffer_rejects_duplicate_operand():
 def test_token_buffer_ready_bits_complete_a_thread():
     buf = TokenBuffer(entries=2, arity=2)
     buf.insert(0, 0, 5)
-    buf.mark_ready(0, 1)
+    assert buf.mark_ready(0, 1)
     assert buf.ready_threads() == [0]
+
+
+def test_token_buffer_mark_ready_respects_capacity():
+    """Acknowledge bits must not allocate slots beyond the entries bound."""
+    buf = TokenBuffer(entries=2, arity=2)
+    assert buf.insert(0, 0, 1)
+    assert buf.insert(1, 0, 2)
+    assert buf.is_full
+    # A new thread's acknowledge is backpressured exactly like insert().
+    assert not buf.mark_ready(2, 1)
+    assert buf.occupancy == 2
+    assert buf.stats.stalls_full == 1
+    # Threads that already own a slot can still be acknowledged.
+    assert buf.mark_ready(0, 1)
+    assert buf.ready_threads() == [0]
+
+
+def test_token_buffer_mark_ready_validates_port():
+    buf = TokenBuffer(entries=2, arity=2)
+    with pytest.raises(SimulationError):
+        buf.mark_ready(0, 5)
 
 
 # ------------------------------------------------------------------ barrier

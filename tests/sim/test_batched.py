@@ -1,0 +1,186 @@
+"""Tests for the wave-batched engine, engine dispatch and multi-core sharding."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_kernel
+from repro.config.system import default_system_config
+from repro.errors import SimulationError
+from repro.kernel.builder import KernelBuilder
+from repro.sim.batched import BatchedSimulator, run_batched
+from repro.sim.cycle import resolve_engine, run_cycle_accurate
+from repro.sim.launch import KernelLaunch
+from repro.sim.multicore import run_multicore, run_sharded, shard_threads
+from repro.workloads.matmul import MatmulWorkload
+
+#: Counters the acceptance criteria require to be equal between engines.
+OP_COUNTERS = ("alu_ops", "fpu_ops", "global_loads", "global_stores")
+
+
+def _axpy_launch(n=48):
+    b = KernelBuilder("axpy", n)
+    b.global_array("x", n)
+    b.global_array("y", n)
+    b.global_array("out", n)
+    tid = b.thread_idx_x()
+    value = b.fma(b.load("x", tid), b.const(2.5), b.load("y", tid))
+    b.store("out", tid, value)
+    graph = b.finish()
+    inputs = {"x": np.arange(n) * 0.37, "y": np.arange(n) * -1.2 + 0.5}
+    return KernelLaunch(graph, inputs)
+
+
+def test_batched_matches_event_bitwise():
+    launch = _axpy_launch()
+    compiled = compile_kernel(launch.graph)
+    event = run_cycle_accurate(compiled, launch, engine="event")
+    batched = run_cycle_accurate(compiled, launch, engine="batched")
+    assert np.array_equal(event.array("out"), batched.array("out"))
+    event_counters = event.stats.as_dict()
+    batched_counters = batched.stats.as_dict()
+    for counter in event_counters:
+        if counter == "cycles":
+            continue
+        assert event_counters[counter] == batched_counters[counter], counter
+
+
+def test_graph_interthread_detection(scan_launch):
+    launch, _ = scan_launch
+    assert launch.graph.has_interthread()  # prefix sum uses an elevator
+    assert not _axpy_launch().graph.has_interthread()
+
+
+def test_auto_engine_picks_batched_for_interthread_free_graphs(scan_launch):
+    launch, _ = scan_launch
+    assert resolve_engine("auto", launch.graph) == "event"
+    assert resolve_engine("auto", _axpy_launch().graph) == "batched"
+    with pytest.raises(SimulationError):
+        resolve_engine("warp", launch.graph)
+
+
+def test_batched_engine_rejects_interthread_graphs(scan_launch):
+    launch, _ = scan_launch
+    compiled = compile_kernel(launch.graph)
+    with pytest.raises(SimulationError):
+        BatchedSimulator(compiled, launch)
+
+
+def test_batched_wave_groups_do_not_change_results():
+    launch = _axpy_launch(n=64)
+    compiled = compile_kernel(launch.graph)
+    whole = run_batched(compiled, launch)
+    waved = BatchedSimulator(compiled, _axpy_launch(n=64), wave_group=7).run()
+    assert np.array_equal(whole.array("out"), waved.array("out"))
+    assert whole.stats.as_dict() == waved.stats.as_dict()
+
+
+def test_batched_outputs_match_event_outputs():
+    n = 16
+    b = KernelBuilder("out_kernel", n)
+    b.global_array("x", n)
+    tid = b.thread_idx_x()
+    b.output("doubled", b.load("x", tid) * 2.0)
+    b.store("x", tid, b.load("x", tid))
+    graph = b.finish()
+    inputs = {"x": np.arange(n) * 1.5}
+    compiled = compile_kernel(graph)
+    event = run_cycle_accurate(compiled, KernelLaunch(graph, inputs), engine="event")
+    batched = run_cycle_accurate(compiled, KernelLaunch(graph, inputs), engine="batched")
+    assert event.output("doubled") == batched.output("doubled")
+
+
+# ------------------------------------------------------------------ multicore
+def test_shard_threads_is_block_cyclic():
+    shards = shard_threads(12, cores=2, block=3)
+    assert shards[0].tolist() == [0, 1, 2, 6, 7, 8]
+    assert shards[1].tolist() == [3, 4, 5, 9, 10, 11]
+    recombined = sorted(t for shard in shards for t in shard.tolist())
+    assert recombined == list(range(12))
+
+
+def test_multicore_matches_single_core():
+    workload = MatmulWorkload()
+    prepared = workload.prepare({"dim": 8})
+    compiled = compile_kernel(prepared.launch("stream").graph)
+    single = run_cycle_accurate(compiled, prepared.launch("stream"))
+    multi = run_multicore(compiled, prepared.launch("stream"), cores=4)
+    assert multi.cores == 4
+    assert np.array_equal(single.array("c"), multi.array("c"))
+    prepared.check_outputs({"c": multi.array("c")})
+    assert multi.stats.threads == prepared.launch("stream").num_threads
+    single_counters = single.stats.as_dict()
+    multi_counters = multi.stats.as_dict()
+    for counter in OP_COUNTERS:
+        assert multi_counters[counter] == single_counters[counter], counter
+
+
+def test_multicore_event_engine_agrees_with_batched():
+    launch = _axpy_launch(n=32)
+    compiled = compile_kernel(launch.graph)
+    event = run_multicore(compiled, _axpy_launch(n=32), cores=3, engine="event")
+    batched = run_multicore(compiled, _axpy_launch(n=32), cores=3, engine="batched")
+    assert np.array_equal(event.array("out"), batched.array("out"))
+    for counter in OP_COUNTERS:
+        assert event.stats.as_dict()[counter] == batched.stats.as_dict()[counter]
+
+
+def test_multicore_rejects_interthread_graphs(scan_launch):
+    launch, _ = scan_launch
+    compiled = compile_kernel(launch.graph)
+    with pytest.raises(SimulationError):
+        run_multicore(compiled, launch, cores=2)
+
+
+def test_run_sharded_falls_back_to_single_core_for_interthread(scan_launch):
+    launch, data = scan_launch
+    compiled = compile_kernel(launch.graph)
+    result = run_sharded(compiled, launch, cores=4)
+    np.testing.assert_allclose(result.array("prefix"), np.cumsum(data))
+
+
+def test_run_sharded_uses_config_cores():
+    from dataclasses import replace
+
+    config = replace(default_system_config(), cores=2).validate()
+    launch = _axpy_launch(n=24)
+    compiled = compile_kernel(launch.graph, config)
+    result = run_sharded(compiled, launch)
+    assert result.cores == 2
+    reference = _axpy_launch(n=24)
+    expected = reference.inputs["x"] * 2.5 + reference.inputs["y"]
+    np.testing.assert_allclose(result.array("out"), expected)
+
+
+def test_auto_engine_honours_explicit_hierarchy():
+    """A caller passing a hierarchy wants its counters populated, so
+    auto must resolve to the event engine for that call."""
+    from repro.memory.hierarchy import MemoryHierarchy
+
+    launch = _axpy_launch(n=16)
+    compiled = compile_kernel(launch.graph)
+    hierarchy = MemoryHierarchy(compiled.config.memory)
+    result = run_cycle_accurate(compiled, launch, hierarchy=hierarchy)
+    assert hierarchy.l1.stats.accesses > 0
+    flat = result.counters()
+    assert flat["l1_read_hits"] + flat["l1_read_misses"] > 0
+    assert flat["l1_read_misses"] == hierarchy.l1.stats.read_misses
+
+
+def test_run_sharded_forced_batched_downgrades_for_interthread(scan_launch):
+    """--engine batched sweeps must run communicating kernels on the
+    event engine instead of failing on the first barrier/elevator."""
+    launch, data = scan_launch
+    compiled = compile_kernel(launch.graph)
+    result = run_sharded(compiled, launch, engine="batched")
+    np.testing.assert_allclose(result.array("prefix"), np.cumsum(data))
+
+
+def test_multicore_counters_include_per_core_hierarchies():
+    launch = _axpy_launch(n=32)
+    compiled = compile_kernel(launch.graph)
+    multi = run_multicore(compiled, launch, cores=2, engine="event")
+    counters = multi.counters()
+    # Two private hierarchies: each core pays its own compulsory misses.
+    assert counters["l1_read_misses"] > 0
+    per_core = [r.hierarchy.stats().flat()["l1_read_misses"] for r in multi.core_results]
+    assert counters["l1_read_misses"] == sum(per_core)

@@ -97,6 +97,56 @@ def test_deadlock_detection_reports_unretired_threads():
         CycleSimulator(compiled, KernelLaunch(graph, {}), max_cycles=50_000).run()
 
 
+def test_noc_hops_match_mapped_route_lengths():
+    """noc_hops counts each token's true mapped hop count exactly once."""
+    n = 8
+    b = KernelBuilder("hops", n)
+    b.global_array("in_data", n)
+    b.global_array("out", n)
+    tid = b.thread_idx_x()
+    b.store("out", tid, -b.load("in_data", tid))  # load -> neg -> store
+    graph = b.finish()
+    compiled = compile_kernel(graph)
+    launch = KernelLaunch(graph, {"in_data": np.arange(float(n))})
+    result = run_cycle_accurate(compiled, launch, engine="event")
+    expected_hops_per_thread = sum(
+        compiled.edge_hops(edge.src, edge.dst) for edge in compiled.graph.edges()
+    )
+    assert result.stats.noc_hops == n * expected_hops_per_thread
+
+
+def test_noc_hops_independent_of_latency_parameters():
+    """Hop counts must not scale with hop_latency or injection_latency."""
+    from dataclasses import replace
+
+    from repro.config.system import NocConfig
+
+    n = 8
+    results = []
+    for noc in (
+        NocConfig(hop_latency=1, injection_latency=1),
+        NocConfig(hop_latency=3, injection_latency=0),
+        NocConfig(hop_latency=1, injection_latency=4),
+    ):
+        b = KernelBuilder("hops_cfg", n)
+        b.global_array("in_data", n)
+        b.global_array("out", n)
+        tid = b.thread_idx_x()
+        b.store("out", tid, -b.load("in_data", tid))
+        graph = b.finish()
+        config = replace(default_system_config(), noc=noc)
+        compiled = compile_kernel(graph, config)
+        launch = KernelLaunch(graph, {"in_data": np.arange(float(n))})
+        result = run_cycle_accurate(compiled, launch, engine="event")
+        expected = n * sum(
+            compiled.edge_hops(e.src, e.dst) for e in compiled.graph.edges()
+        )
+        assert result.stats.noc_hops == expected
+        results.append(result.stats.noc_hops)
+    # Same seed, same placement: identical hop counts across NoC timings.
+    assert len(set(results)) == 1
+
+
 def test_replicas_increase_injection_rate():
     config = default_system_config()
     workload = ConvolutionWorkload()

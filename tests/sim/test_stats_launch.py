@@ -35,6 +35,26 @@ def test_stats_merge_sums_counters_and_maxes_cycles():
     assert merged.threads == 8
 
 
+def test_stats_merge_preserves_float_extras():
+    a = ExecutionStats(threads=2)
+    a.bump("dram_energy_pj", 1.25)
+    b = ExecutionStats(threads=2)
+    b.bump("dram_energy_pj", 2.5)
+    merged = a.merge(b)
+    assert merged.extra["dram_energy_pj"] == pytest.approx(3.75)
+
+
+def test_stats_merge_averages_instructions_per_lane():
+    a = ExecutionStats(threads=32, instructions_per_lane=100)
+    b = ExecutionStats(threads=32, instructions_per_lane=200)
+    merged = a.merge(b)
+    # per-lane average, not a volume sum
+    assert merged.instructions_per_lane == 150
+    # thread-weighted when the sides are unbalanced
+    c = ExecutionStats(threads=96, instructions_per_lane=200)
+    assert a.merge(c).instructions_per_lane == (100 * 32 + 200 * 96) // 128
+
+
 def _graph():
     b = KernelBuilder("launch_test", 8)
     b.global_array("in_data", 8)

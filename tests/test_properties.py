@@ -13,11 +13,14 @@ from repro.graph.interthread import (
     linearize,
     unlinearize,
 )
+from repro.compiler.pipeline import compile_kernel
 from repro.graph.opcodes import Opcode
 from repro.kernel.builder import KernelBuilder
 from repro.memory.coalescer import coalesce
+from repro.sim.cycle import run_cycle_accurate
 from repro.sim.functional import run_functional
 from repro.sim.launch import KernelLaunch
+from repro.workloads.registry import all_workloads
 from repro.workloads.reduce import windowed_partial_sums
 
 # --------------------------------------------------------------------- dims
@@ -97,6 +100,49 @@ def test_windowed_partial_sums_reference_properties(window, groups, raw):
         assert np.isclose(out[start], values[start:start + window].sum())
         # suffix sums are non-increasing for non-negative inputs
         assert all(np.diff(out[start:start + window]) <= 1e-9)
+
+
+# Small problem sizes so the event engine stays fast per example.
+_STREAM_PARAMS = {
+    "matrixMul": {"dim": 6},
+    "convolution": {"n": 48},
+    "reduce": {"n": 64, "window": 8},
+}
+_STREAM_WORKLOADS = [w for w in all_workloads() if w.has_stream_variant()]
+
+
+def test_registry_exposes_stream_workloads():
+    # Every stream-capable workload needs a params entry below (and vice
+    # versa), or the engine-equivalence property test cannot cover it.
+    assert {w.name for w in _STREAM_WORKLOADS} == set(_STREAM_PARAMS)
+    for workload in _STREAM_WORKLOADS:
+        params = workload.params_with_defaults(_STREAM_PARAMS[workload.name])
+        assert not workload.build_stream(params).has_interthread()
+
+
+@settings(deadline=None, max_examples=9)
+@given(
+    st.integers(0, len(_STREAM_WORKLOADS) - 1),
+    st.integers(0, 3),
+)
+def test_batched_engine_matches_event_engine_on_stream_workloads(index, seed):
+    """engine="batched" and engine="event" agree bit for bit on every
+    inter-thread-free workload of the registry: same output arrays and the
+    same operation counters, for any input data."""
+    workload = _STREAM_WORKLOADS[index]
+    prepared = workload.prepare(_STREAM_PARAMS[workload.name], seed=seed)
+    compiled = compile_kernel(prepared.launch("stream").graph)
+    event = run_cycle_accurate(compiled, prepared.launch("stream"), engine="event")
+    batched = run_cycle_accurate(compiled, prepared.launch("stream"), engine="batched")
+    for name in prepared.expected:
+        assert np.array_equal(event.array(name), batched.array(name)), name
+    prepared.check_outputs({n: batched.array(n) for n in prepared.expected})
+    event_counters = event.stats.as_dict()
+    batched_counters = batched.stats.as_dict()
+    for counter, value in event_counters.items():
+        if counter == "cycles":
+            continue
+        assert batched_counters[counter] == value, counter
 
 
 @settings(deadline=None, max_examples=20)
