@@ -6,13 +6,11 @@ inserts and the resulting execution time.  Larger buffers need fewer
 cascaded nodes, at the cost of larger matching structures.
 """
 
-import dataclasses
 
 import numpy as np
 
 from repro.compiler.pipeline import compile_kernel
 from repro.config.system import SystemConfig, TokenBufferConfig
-from repro.graph.opcodes import Opcode
 from repro.kernel.builder import KernelBuilder
 from repro.sim.cycle import run_cycle_accurate
 from repro.sim.launch import KernelLaunch

@@ -1,0 +1,108 @@
+"""Multi-core cycle scaling of a window-aligned communicating kernel.
+
+The windowed reduce (an ELEVATOR chain per transmission window) is the
+canonical kernel the window-aligned partitioner of
+``repro.sim.multicore`` exists for: shard boundaries fall on multiples of
+the 64-thread window, so the ELEVATOR traffic never crosses a core.  This
+bench shards it across 1/2/4/8 cores, checks the equivalence contract
+(no fallback, outputs bit-identical to the single-core run, equal
+operation counters) and measures the simulated-cycle speedup under the
+shared-DRAM memory model — the table quoted by ROADMAP.md's "Sharding
+communicating kernels" section.  Usage::
+
+    pytest benchmarks/bench_multicore_scaling.py -s
+    python benchmarks/bench_multicore_scaling.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.compiler.pipeline import compile_kernel
+from repro.sim.multicore import run_sharded
+from repro.workloads.registry import get_workload
+
+WORKLOAD = ("reduce", {"n": 2048, "window": 64}, "partials")
+CORE_COUNTS = (1, 2, 4, 8)
+
+#: Counters that must be exactly equal between core counts.
+COMPARED_COUNTERS = (
+    "alu_ops",
+    "fpu_ops",
+    "global_loads",
+    "global_stores",
+    "elevator_retags",
+    "elevator_constants",
+    "tokens_sent",
+    "noc_hops",
+)
+
+
+def _measure() -> list[dict]:
+    name, params, output = WORKLOAD
+    workload = get_workload(name)
+    prepared = workload.prepare(params)
+    compiled = compile_kernel(prepared.launch("dmt").graph)
+
+    rows: list[dict] = []
+    baseline = None
+    for cores in CORE_COUNTS:
+        result = run_sharded(compiled, prepared.launch("dmt"), cores=cores)
+        assert "shard_fallback_reason" not in result.stats.extra, (
+            f"{name} fell back on {cores} cores: "
+            f"{result.stats.extra.get('shard_fallback_reason')}"
+        )
+        prepared.check_outputs({output: result.array(output)})
+        if baseline is None:
+            baseline = result
+        else:
+            assert np.array_equal(baseline.array(output), result.array(output)), (
+                f"{name}: outputs on {cores} cores differ from the single-core run"
+            )
+            base_counters = baseline.stats.as_dict()
+            counters = result.stats.as_dict()
+            for counter in COMPARED_COUNTERS:
+                assert counters[counter] == base_counters[counter], (
+                    f"{name}: {counter} differs on {cores} cores "
+                    f"({counters[counter]} vs {base_counters[counter]})"
+                )
+        rows.append(
+            {
+                "cores": cores,
+                "cycles": result.cycles,
+                "speedup": baseline.cycles / result.cycles,
+            }
+        )
+    return rows
+
+
+def _print_table(rows: list[dict]) -> None:
+    name, params, _ = WORKLOAD
+    print(f"\n{name} dMT ({params}) under run_sharded, shared DRAM:")
+    header = f"{'cores':>5} {'cycles':>8} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['cores']:>5} {row['cycles']:>8} {row['speedup']:>7.2f}x")
+
+
+def test_windowed_reduce_scales_across_cores():
+    rows = _measure()
+    _print_table(rows)
+    by_cores = {row["cores"]: row for row in rows}
+    # More cores must never be slower, and 4 cores must show real scaling.
+    for prev, cur in zip(CORE_COUNTS, CORE_COUNTS[1:]):
+        assert by_cores[cur]["cycles"] <= by_cores[prev]["cycles"]
+    assert by_cores[4]["speedup"] >= 1.5
+
+
+def main() -> int:
+    rows = _measure()
+    _print_table(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

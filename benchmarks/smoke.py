@@ -1,13 +1,15 @@
-"""Fail-fast smoke target for both simulation engines.
+"""Fail-fast smoke target for both simulation engines and the sharding layer.
 
-Runs the tier-1 test suite and then a 256-thread matmul on the event and
-batched engines, checking that their outputs are bit-identical and their
-operation counters equal — the cheap end-to-end signal that a regression
-in either engine (or in the dispatch between them) is caught before the
-full benchmark suite runs.  Usage::
+Runs the tier-1 test suite, then a 256-thread matmul on the event and
+batched engines (outputs bit-identical, operation counters equal), then a
+windowed reduce sharded across 4 cores against its single-core run (no
+fallback, outputs bit-identical, operation counters equal) — the cheap
+end-to-end signal that a regression in either engine, the dispatch
+between them, or the window-aligned multi-core partitioner is caught
+before the full benchmark suite runs.  Usage::
 
-    python benchmarks/smoke.py          # tests + both engines
-    python benchmarks/smoke.py --no-tests   # engine check only
+    python benchmarks/smoke.py          # tests + engines + sharding
+    python benchmarks/smoke.py --no-tests   # engine/sharding checks only
 """
 
 from __future__ import annotations
@@ -68,6 +70,46 @@ def run_engine_smoke() -> int:
     return 0
 
 
+def run_sharding_smoke() -> int:
+    import numpy as np
+
+    from repro.compiler.pipeline import compile_kernel
+    from repro.sim.multicore import run_sharded
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload("reduce")
+    prepared = workload.prepare({"n": 256, "window": 64})
+    compiled = compile_kernel(prepared.launch("dmt").graph)
+
+    start = time.perf_counter()
+    single = run_sharded(compiled, prepared.launch("dmt"), cores=1)
+    multi = run_sharded(compiled, prepared.launch("dmt"), cores=4)
+    elapsed = time.perf_counter() - start
+
+    if "shard_fallback_reason" in multi.stats.extra:
+        print(f"FAIL: reduce fell back to one core: "
+              f"{multi.stats.extra['shard_fallback_reason']}")
+        return 1
+    if getattr(multi, "cores", 1) != 4:
+        print(f"FAIL: expected 4 active cores, got {getattr(multi, 'cores', 1)}")
+        return 1
+    print(f"  sharded 256-thread reduce: {elapsed:.2f}s, "
+          f"{single.cycles} cycles on 1 core, {multi.cycles} on 4")
+    if not np.array_equal(single.array("partials"), multi.array("partials")):
+        print("FAIL: sharded outputs differ from the single-core run")
+        return 1
+    prepared.check_outputs({"partials": multi.array("partials")})
+    single_counters = single.stats.as_dict()
+    multi_counters = multi.stats.as_dict()
+    for counter in COMPARED_COUNTERS + ("elevator_retags", "tokens_sent"):
+        if single_counters[counter] != multi_counters[counter]:
+            print(f"FAIL: {counter} differs between 1-core and 4-core runs "
+                  f"(single={single_counters[counter]}, multi={multi_counters[counter]})")
+            return 1
+    print("  sharding agrees: no fallback, outputs bit-identical, op counters equal")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if "--no-tests" not in argv:
         print("== tier-1 tests ==")
@@ -76,7 +118,11 @@ def main(argv: list[str]) -> int:
             return rc
     print("== engine smoke (matmul, 256 threads, both engines) ==")
     sys.path.insert(0, SRC)
-    return run_engine_smoke()
+    rc = run_engine_smoke()
+    if rc:
+        return rc
+    print("== sharding smoke (windowed reduce, 1 vs 4 cores) ==")
+    return run_sharding_smoke()
 
 
 if __name__ == "__main__":

@@ -32,7 +32,10 @@ def main() -> None:
     print(f"1D 3-tap convolution over {n} elements (kernel = [0.25, 0.5, 0.25])\n")
     results = compare_architectures(workload, params=params)
 
-    print(f"{'architecture':<12} {'cycles':>8} {'DRAM accesses':>14} {'barrier waits':>14} {'energy [uJ]':>12}")
+    print(
+        f"{'architecture':<12} {'cycles':>8} {'DRAM accesses':>14} "
+        f"{'barrier waits':>14} {'energy [uJ]':>12}"
+    )
     for name in ("fermi", "mt", "dmt"):
         result = results[name]
         dram = result.counters["dram_reads"] + result.counters["dram_writes"]

@@ -25,7 +25,10 @@ def main() -> None:
 
     results = compare_architectures("matrixMul", params={"dim": dim})
 
-    header = f"{'architecture':<12} {'cycles':>8} {'global loads':>13} {'scratch accesses':>17} {'energy [uJ]':>12}"
+    header = (
+        f"{'architecture':<12} {'cycles':>8} {'global loads':>13} "
+        f"{'scratch accesses':>17} {'energy [uJ]':>12}"
+    )
     print(header)
     print("-" * len(header))
     for name in ("fermi", "mt", "dmt"):

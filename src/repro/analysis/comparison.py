@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable
 
 __all__ = ["geomean", "ArchitectureComparison", "ComparisonTable"]
 

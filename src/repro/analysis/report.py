@@ -23,7 +23,9 @@ __all__ = [
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """Render an aligned plain-text table."""
-    columns = [list(map(str, col)) for col in zip(headers, *rows)] if rows else [[h] for h in headers]
+    columns = (
+        [list(map(str, col)) for col in zip(headers, *rows)] if rows else [[h] for h in headers]
+    )
     widths = [max(len(cell) for cell in col) for col in columns]
     def fmt(row: Sequence[object]) -> str:
         return "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))

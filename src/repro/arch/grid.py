@@ -154,5 +154,6 @@ class PhysicalGrid:
         return self.unit(unit_a).distance_to(self.unit(unit_b))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        caps = {cls.value: n for cls, n in sorted(self.capacity().items(), key=lambda x: x[0].value)}
+        capacity = sorted(self.capacity().items(), key=lambda x: x[0].value)
+        caps = {cls.value: n for cls, n in capacity}
         return f"PhysicalGrid({self.config.rows}x{self.config.cols}, {caps})"

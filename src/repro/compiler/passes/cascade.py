@@ -21,7 +21,7 @@ from repro.config.system import SystemConfig
 from repro.errors import CompilationError
 from repro.graph.dfg import DataflowGraph
 from repro.graph.node import Node
-from repro.graph.opcodes import Opcode, UnitClass
+from repro.graph.opcodes import Opcode
 
 __all__ = ["CascadeElevatorsPass", "split_delta", "cascade_plan"]
 

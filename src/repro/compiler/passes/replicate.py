@@ -55,8 +55,9 @@ class ReplicatePass(Pass):
         if previous != replicas:
             result.changed = True
         result.metrics["replicas"] = replicas
+        demand = sorted(graph.unit_demand().items(), key=lambda x: x[0].value)
+        demand_text = ", ".join(f"{k.value}: {v}" for k, v in demand)
         result.note(
-            f"graph '{graph.name}' replicated {replicas}x "
-            f"(demand {{{', '.join(f'{k.value}: {v}' for k, v in sorted(graph.unit_demand().items(), key=lambda x: x[0].value))}}})"
+            f"graph '{graph.name}' replicated {replicas}x (demand {{{demand_text}}})"
         )
         return result

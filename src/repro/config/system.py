@@ -228,6 +228,25 @@ class MemorySystemConfig:
         self.dram.validate()
         self.scratchpad.validate()
 
+    def sliced(self, cores: int) -> "MemorySystemConfig":
+        """Per-core slice of this memory system for multi-core sharding.
+
+        Each core keeps a private L1 but only a ``1/cores`` slice of the
+        shared L2 (rounded down to a whole number of sets, never below
+        one set); the DRAM configuration is returned unchanged because the
+        device itself is shared across cores (see
+        :class:`repro.memory.shared_dram.SharedDRAM`).
+        """
+        if cores <= 1:
+            return self
+        set_bytes = self.l2.line_bytes * self.l2.ways
+        slice_bytes = max(set_bytes, (self.l2.size_bytes // cores) // set_bytes * set_bytes)
+        from dataclasses import replace
+
+        sliced = replace(self, l2=replace(self.l2, size_bytes=slice_bytes))
+        sliced.validate()
+        return sliced
+
 
 @dataclass(frozen=True)
 class FermiSmConfig:
@@ -315,9 +334,14 @@ class SystemConfig:
     max_graph_replicas: int = 8
     #: Number of simulated CGRA cores a launch may be sharded across.  The
     #: paper evaluates a single core (one thread block per core); values
-    #: above 1 enable the block-cyclic multi-core sharding of
-    #: :mod:`repro.sim.multicore` for inter-thread-free kernels.
+    #: above 1 enable the window-aligned multi-core sharding of
+    #: :mod:`repro.sim.multicore`.
     cores: int = 1
+    #: Multi-core memory model: when True (the default) the cores share one
+    #: DRAM device whose bandwidth is contended across cores and each core
+    #: gets a private ``1/cores`` L2 slice; when False every core keeps the
+    #: legacy private L2 + private DRAM of the one-block-per-core model.
+    shared_dram: bool = True
 
     def validate(self) -> "SystemConfig":
         self.grid.validate()

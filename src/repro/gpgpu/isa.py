@@ -16,7 +16,7 @@ address arithmetic is still explicit in the kernels (MAD/ADD of indices).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.errors import IsaError

@@ -12,7 +12,7 @@ cost the paper contrasts against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import IsaError
@@ -193,7 +193,9 @@ class SimtProgramBuilder:
         self.emit(Instruction(op, dst=dst, srcs=(a, b)))
         return dst
 
-    def select(self, pred: Pred, if_true: Operand, if_false: Operand, dst: Reg | None = None) -> Reg:
+    def select(
+        self, pred: Pred, if_true: Operand, if_false: Operand, dst: Reg | None = None
+    ) -> Reg:
         dst = dst or self.reg()
         self.emit(Instruction(Op.SEL, dst=dst, srcs=(pred, if_true, if_false)))
         return dst

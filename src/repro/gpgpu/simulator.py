@@ -24,7 +24,7 @@ kernels are expressed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Mapping
 
 import numpy as np
 
@@ -32,7 +32,6 @@ from repro.config.system import SystemConfig, default_system_config
 from repro.errors import GpgpuExecutionError
 from repro.gpgpu.isa import Imm, Instruction, Op, Operand, Pred, Reg, Special
 from repro.gpgpu.program import SimtProgram
-from repro.kernel.arrays import MemorySpace
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.image import MemoryImage
 from repro.memory.request import AccessType

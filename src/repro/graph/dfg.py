@@ -15,7 +15,7 @@ removed.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterator
 
 from repro.errors import GraphError
 from repro.graph.node import Edge, Node

@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 
 from repro.errors import GraphError
 from repro.graph.node import Node
+from repro.graph.opcodes import Opcode
 
 __all__ = [
     "linearize",
@@ -37,6 +38,9 @@ __all__ = [
     "elevator_source",
     "elevator_destination",
     "eldst_source",
+    "communication_windows",
+    "subset_closed_under_window",
+    "thread_subset_problem",
 ]
 
 
@@ -138,3 +142,82 @@ def eldst_source(
     otherwise deadlock).
     """
     return elevator_source(node, consumer_tid, block_dim, num_threads)
+
+
+def subset_closed_under_window(
+    thread_ids: Sequence[int], window: int, num_threads: int
+) -> bool:
+    """True if ``thread_ids`` is a union of whole transmission windows.
+
+    Communication through a node with transmission window ``w`` never
+    crosses a boundary between consecutive groups of ``w`` linear TIDs
+    (:func:`same_window`), so a thread subset that contains every window
+    it touches is closed under that node's communication — the legality
+    condition for simulating the subset on its own core.
+    """
+    present = {int(t) for t in thread_ids}
+    for group_start in {(tid // window) * window for tid in present}:
+        # Threads in range(group_start, group_start + window) are exactly
+        # the ones same_window() groups with group_start.
+        for other in range(group_start, min(group_start + window, num_threads)):
+            if other not in present:
+                return False
+    return True
+
+
+def communication_windows(graph) -> tuple[list[int], Optional[str]]:
+    """The transmission windows bounding ``graph``'s inter-thread traffic.
+
+    This is the single statement of the shard/subset legality rule, shared
+    by the multi-core partition planner (``sim/multicore.py::plan_shards``)
+    and the simulator-side subset check (:func:`thread_subset_problem`):
+
+    * every ELEVATOR/ELDST node must carry a bounded ``window``;
+    * a BARRIER contributes its ``window`` if it has one; an un-windowed
+      BARRIER degrades to a per-subset barrier, which preserves every
+      value only if the graph moves no data through the scratchpad
+      (scratch traffic ordered by a whole-block barrier may cross a
+      subset boundary).
+
+    Returns ``(windows, None)`` when cuts aligned to the windows are
+    legal, or ``([], reason)`` when no cut is.
+    """
+    windows: list[int] = []
+    for node in graph.nodes_with_opcode(Opcode.ELEVATOR, Opcode.ELDST):
+        window = node.param("window")
+        if window is None:
+            return [], f"{node.label()} has no bounded transmission window"
+        windows.append(int(window))
+    has_scratch = bool(
+        graph.nodes_with_opcode(Opcode.SCRATCH_LOAD, Opcode.SCRATCH_STORE)
+    )
+    for node in graph.nodes_with_opcode(Opcode.BARRIER):
+        window = node.param("window")
+        if window is not None:
+            windows.append(int(window))
+        elif has_scratch:
+            return [], (
+                f"{node.label()} synchronises scratchpad traffic across "
+                "the whole block"
+            )
+    return windows, None
+
+
+def thread_subset_problem(graph, thread_ids: Sequence[int], num_threads: int) -> Optional[str]:
+    """Why ``thread_ids`` cannot be simulated as a stand-alone subset.
+
+    Returns ``None`` when every inter-thread node of ``graph`` keeps its
+    communication inside the subset: the graph's windows must be bounded
+    (:func:`communication_windows`) and the subset closed under each of
+    them.
+    """
+    windows, reason = communication_windows(graph)
+    if reason is not None:
+        return reason
+    for window in sorted(set(windows)):
+        if not subset_closed_under_window(thread_ids, window, num_threads):
+            return (
+                f"thread subset is not aligned to a transmission window "
+                f"of {window}"
+            )
+    return None

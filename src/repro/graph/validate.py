@@ -41,12 +41,19 @@ def _check_params(node: Node, issues: list[str]) -> None:
         window = node.param("window")
         if window is not None and (not isinstance(window, int) or window <= 0):
             issues.append(f"{node.label()}: ELEVATOR window must be a positive integer")
+    if node.opcode is Opcode.BARRIER:
+        window = node.param("window")
+        if window is not None and (not isinstance(window, int) or window <= 0):
+            issues.append(f"{node.label()}: BARRIER window must be a positive integer")
     if node.opcode is Opcode.ELDST:
         delta = node.param("delta")
         if not isinstance(delta, int) or delta <= 0:
             issues.append(f"{node.label()}: ELDST delta must be a positive integer")
         if not node.param("array"):
             issues.append(f"{node.label()}: ELDST is missing its 'array' parameter")
+        window = node.param("window")
+        if window is not None and (not isinstance(window, int) or window <= 0):
+            issues.append(f"{node.label()}: ELDST window must be a positive integer")
     if node.opcode in (Opcode.LOAD, Opcode.STORE, Opcode.ELDST):
         if not node.param("array"):
             issues.append(f"{node.label()}: memory node is missing its 'array' parameter")

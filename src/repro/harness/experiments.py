@@ -26,7 +26,19 @@ from repro.sim.multicore import run_sharded
 from repro.workloads.base import ARCHITECTURES, PreparedWorkload, Workload
 from repro.workloads.registry import all_workloads, get_workload
 
-__all__ = ["RunResult", "run_workload", "compare_architectures", "run_suite"]
+__all__ = [
+    "GRAPH_VARIANTS",
+    "RunResult",
+    "run_workload",
+    "compare_architectures",
+    "run_suite",
+]
+
+#: Dataflow-graph variants runnable on the CGRA simulators in addition to
+#: the paper's three architectures: ``dmt_win`` is the window-bounded dMT
+#: kernel (legal for multi-core sharding) and ``stream`` the
+#: inter-thread-free kernel (legal for the batched engine).
+GRAPH_VARIANTS = ("mt", "dmt", "dmt_win", "stream")
 
 
 @dataclass
@@ -77,14 +89,18 @@ def run_workload(
 ) -> RunResult:
     """Run one workload on one architecture and return cycles/energy/outputs.
 
-    ``engine`` selects the dataflow execution engine (``"auto"``,
-    ``"event"`` or ``"batched"``); ``cores`` overrides
-    ``SystemConfig.cores`` for multi-core sharding of inter-thread-free
-    kernels.  Both are ignored by the Fermi baseline.
+    ``architecture`` is one of the paper's three architectures
+    (``fermi``/``mt``/``dmt``) or an additional graph variant from
+    :data:`GRAPH_VARIANTS` (``dmt_win``, ``stream``).  ``engine`` selects
+    the dataflow execution engine (``"auto"``, ``"event"`` or
+    ``"batched"``); ``cores`` overrides ``SystemConfig.cores`` for
+    multi-core sharding (window-aligned for communicating kernels).  Both
+    are ignored by the Fermi baseline.
     """
-    if architecture not in ARCHITECTURES:
+    if architecture not in ARCHITECTURES and architecture not in GRAPH_VARIANTS:
         raise WorkloadError(
-            f"unknown architecture '{architecture}'; expected one of {ARCHITECTURES}"
+            f"unknown architecture '{architecture}'; expected one of "
+            f"{ARCHITECTURES + tuple(v for v in GRAPH_VARIANTS if v not in ARCHITECTURES)}"
         )
     config = config or default_system_config()
     resolved = _resolve(workload)

@@ -34,7 +34,7 @@ from typing import Sequence
 from repro.errors import KernelBuildError
 from repro.graph.dfg import DataflowGraph
 from repro.graph.node import Node
-from repro.graph.opcodes import DType, Opcode, opcode_info
+from repro.graph.opcodes import DType, Opcode
 from repro.graph.validate import validate_graph
 from repro.kernel.arrays import ArraySpec, ArrayTable, MemorySpace
 from repro.kernel.geometry import ThreadGeometry
@@ -289,13 +289,27 @@ class KernelBuilder:
         val = self._as_value(value, spec.dtype)
         return self._memory_node(Opcode.SCRATCH_STORE, array, [idx, val], order, spec.dtype)
 
-    def barrier(self, value: ValueLike, name: str = "barrier") -> Value:
+    def barrier(
+        self, value: ValueLike, name: str = "barrier", window: int | None = None
+    ) -> Value:
         """Work-group barrier: the output token is released only after every
         thread of the block has delivered its input token (used by the
-        shared-memory baselines; dMT-CGRA kernels do not need it)."""
+        shared-memory baselines; dMT-CGRA kernels do not need it).
+
+        ``window`` bounds the synchronisation to consecutive groups of
+        ``window`` linear TIDs — the barrier twin of the transmission
+        windows of Sec. 3.2.  A windowed barrier releases each group as
+        soon as that group is complete, and declares to the multi-core
+        partitioner that no synchronised data crosses a window boundary,
+        which makes the kernel shardable at window granularity.
+        """
         self._check_open()
+        if window is not None and window <= 0:
+            raise KernelBuildError("barrier window must be positive")
         v = self._as_value(value)
-        node = self.graph.add_node(Opcode.BARRIER, v.dtype, name=name)
+        node = self.graph.add_node(
+            Opcode.BARRIER, v.dtype, params={"window": window}, name=name
+        )
         self.graph.add_edge(v.node, node, 0)
         return self._value(node)
 

@@ -7,6 +7,7 @@ from repro.memory.hierarchy import HierarchyStats, MemoryHierarchy
 from repro.memory.image import MemoryImage
 from repro.memory.request import AccessResult, AccessType, HitLevel, MemoryRequest
 from repro.memory.scratchpad import Scratchpad, ScratchpadStats
+from repro.memory.shared_dram import SharedDRAM, SharedDramPort
 
 __all__ = [
     "AccessResult",
@@ -22,6 +23,8 @@ __all__ = [
     "Scratchpad",
     "ScratchpadStats",
     "SetAssociativeCache",
+    "SharedDRAM",
+    "SharedDramPort",
     "Transaction",
     "coalesce",
     "coalescing_efficiency",

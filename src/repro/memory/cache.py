@@ -13,7 +13,7 @@ Two policies from the paper are supported:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.config.system import CacheConfig

@@ -56,10 +56,17 @@ class MemoryHierarchy:
         self,
         config: MemorySystemConfig,
         l1_write_through: bool = False,
+        dram: "DramModel | None" = None,
     ) -> None:
+        """``dram`` may be a private :class:`DramModel` (the default) or a
+        per-core :class:`~repro.memory.shared_dram.SharedDramPort` onto a
+        device shared with the other cores; any object with the model's
+        ``access``/``stats``/``busy_until`` interface works."""
         config.validate()
         self.config = config
-        self.dram = DramModel(config.dram, line_bytes=config.l2.line_bytes)
+        self.dram = dram if dram is not None else DramModel(
+            config.dram, line_bytes=config.l2.line_bytes
+        )
         self.l2 = SetAssociativeCache(config.l2, next_level_access=self.dram.access)
         l1_config = config.l1
         if l1_write_through:

@@ -17,7 +17,7 @@ magnitude more than an ALU operation), which these figures preserve.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["EnergyTable", "default_energy_table"]
 

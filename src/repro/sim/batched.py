@@ -233,6 +233,7 @@ class BatchedSimulator:
         wave_group: int = 1 << 14,
         thread_ids: Sequence[int] | None = None,
         memory: MemoryImage | None = None,
+        dram_contention: int = 1,
     ) -> None:
         if compiled.graph.metadata.get("num_threads") != launch.graph.metadata.get(
             "num_threads"
@@ -293,7 +294,19 @@ class BatchedSimulator:
         mem = self.config.memory
         self._line_bytes = mem.l1.line_bytes
         self._hit_latency = mem.l1.hit_latency
-        self._miss_latency = mem.l1.hit_latency + mem.l2.hit_latency + mem.dram.access_latency
+        # A line miss pays the full L1+L2+DRAM latency; when ``dram_contention``
+        # cores share the DRAM device, each miss additionally expects to queue
+        # behind one bank burst per contending core (the analytic twin of the
+        # shared bank state the event engine models exactly).
+        if dram_contention < 1:
+            raise SimulationError("dram_contention must be >= 1")
+        self._dram_queue_latency = (int(dram_contention) - 1) * mem.dram.bank_busy_cycles
+        self._miss_latency = (
+            mem.l1.hit_latency
+            + mem.l2.hit_latency
+            + mem.dram.access_latency
+            + self._dram_queue_latency
+        )
         self._completion = 0.0
 
     # ------------------------------------------------------------------- run
@@ -512,6 +525,7 @@ class BatchedSimulator:
             l1.read_misses += misses
             l2.read_misses += misses
             dram.reads += misses
+        dram.queue_cycles += misses * self._dram_queue_latency
         if misses:
             self.stats.bump("batched_line_misses", misses)
         self.stats.bump("batched_line_hits", hits)

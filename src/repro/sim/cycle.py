@@ -41,7 +41,12 @@ from repro.compiler.pipeline import CompiledKernel
 from repro.config.system import SystemConfig
 from repro.errors import DeadlockError, SimulationError
 from repro.graph.dfg import DataflowGraph
-from repro.graph.interthread import eldst_source, elevator_destination, elevator_source
+from repro.graph.interthread import (
+    eldst_source,
+    elevator_destination,
+    elevator_source,
+    thread_subset_problem,
+)
 from repro.graph.node import Node
 from repro.graph.opcodes import Opcode, UnitClass
 from repro.graph.semantics import PURE_OPCODES, coerce, evaluate_pure
@@ -145,8 +150,10 @@ class _NodeState:
     # consumer threads waiting for their forwarded value.
     forwards_ready: dict[int, tuple[Any, int]] = field(default_factory=dict)
     waiting_consumers: dict[int, tuple[int, Any]] = field(default_factory=dict)
-    # Barrier-specific.
-    barrier_arrived: dict[int, tuple[int, Any]] = field(default_factory=dict)
+    # Barrier-specific: arrivals and expected arrival counts, grouped by
+    # barrier window (group ``-1`` means "every thread this core runs").
+    barrier_arrived: dict[int, dict[int, tuple[int, Any]]] = field(default_factory=dict)
+    barrier_expected: dict[int, int] = field(default_factory=dict)
     executions: int = 0
 
 
@@ -174,8 +181,11 @@ class CycleSimulator:
         self.num_threads = self.geometry.num_threads
         self.max_cycles = max_cycles
         # The subset of threads this core executes (multi-core sharding).
-        # Inter-thread communication cannot cross cores, so subsets are only
-        # legal for graphs without inter-thread dependences.
+        # Inter-thread communication cannot cross cores, so a subset is only
+        # legal when it is closed under the graph's communication: a union
+        # of whole transmission windows (ELEVATOR/ELDST and windowed
+        # BARRIER nodes), with un-windowed barriers degrading to per-subset
+        # barriers only for scratchpad-free graphs.
         if thread_ids is None:
             self._thread_ids = list(range(self.num_threads))
         else:
@@ -185,10 +195,14 @@ class CycleSimulator:
             ):
                 raise SimulationError("thread_ids outside the launch geometry")
             if len(self._thread_ids) != self.num_threads and self.graph.has_interthread():
-                raise SimulationError(
-                    "cannot simulate a thread subset of a graph with inter-thread "
-                    "dependences (ELEVATOR/ELDST/BARRIER nodes)"
+                problem = thread_subset_problem(
+                    self.graph, self._thread_ids, self.num_threads
                 )
+                if problem is not None:
+                    raise SimulationError(
+                        f"cannot simulate this thread subset of '{self.graph.name}': "
+                        f"{problem}"
+                    )
 
         self.memory = memory if memory is not None else launch.build_memory_image()
         self.hierarchy = hierarchy or MemoryHierarchy(self.config.memory)
@@ -223,6 +237,11 @@ class CycleSimulator:
                 port_free_at=[0] * max(1, replicas),
             )
             self._nodes[node.node_id] = state
+            if node.opcode is Opcode.BARRIER:
+                window = node.param("window")
+                for tid in self._thread_ids:
+                    group = tid // int(window) if window else -1
+                    state.barrier_expected[group] = state.barrier_expected.get(group, 0) + 1
             self._successors[node.node_id] = self.graph.successors(node.node_id)
             if node.opcode in (Opcode.STORE, Opcode.SCRATCH_STORE, Opcode.OUTPUT):
                 self._sink_nodes.append(node.node_id)
@@ -418,7 +437,9 @@ class CycleSimulator:
         index = int(operands[0])
         value = operands[1]
         address = self.memory.address_of(array, index)
-        result = self.hierarchy.access(address, AccessType.STORE, issue, node.param("elem_bytes", 4))
+        result = self.hierarchy.access(
+            address, AccessType.STORE, issue, node.param("elem_bytes", 4)
+        )
         self.memory.store(array, index, value)
         self.stats.global_stores += 1
         self._send_to_successors(node.node_id, tid, value, result.complete_cycle)
@@ -524,23 +545,34 @@ class CycleSimulator:
     def _execute_barrier(
         self, state: _NodeState, tid: int, operands: list[Any], issue: int
     ) -> None:
+        """Park ``tid`` until its barrier group is complete.
+
+        An un-windowed barrier waits for every thread this core runs (the
+        whole block on a single core, the shard on a sharded run); a
+        ``window`` parameter bounds the synchronisation to consecutive
+        groups of ``window`` linear TIDs, mirroring the transmission
+        windows of Sec. 3.2.
+        """
         node = state.node
-        state.barrier_arrived[tid] = (issue, operands[0])
+        window = node.param("window")
+        group = tid // int(window) if window else -1
+        arrived = state.barrier_arrived.setdefault(group, {})
+        arrived[tid] = (issue, operands[0])
         self.stats.barrier_arrivals += 1
         # Parking the in-flight value costs one LVC write per thread.
         self.stats.lvc_accesses += 1
         self.lvc.write((node.node_id, tid), operands[0])
-        if len(state.barrier_arrived) == self.num_threads:
-            release = max(arrival for arrival, _ in state.barrier_arrived.values())
+        if len(arrived) == state.barrier_expected[group]:
+            release = max(arrival for arrival, _ in arrived.values())
             release += self.config.latency.control
-            for waiting_tid, (arrival, value) in state.barrier_arrived.items():
+            for waiting_tid, (arrival, value) in arrived.items():
                 self.stats.barrier_wait_cycles += release - arrival
                 self.stats.lvc_accesses += 1
                 self.lvc.read((node.node_id, waiting_tid))
                 self._send_to_successors(
                     node.node_id, waiting_tid, value, release + self.lvc.access_latency
                 )
-            state.barrier_arrived.clear()
+            del state.barrier_arrived[group]
 
     # -------------------------------------------------------------- retirement
     def _sink_completed(self, tid: int, cycle: int) -> None:
@@ -576,11 +608,16 @@ def build_simulator(
     max_cycles: int = 20_000_000,
     thread_ids: Sequence[int] | None = None,
     memory: MemoryImage | None = None,
+    dram_contention: int = 1,
 ):
     """Construct the simulator for ``engine`` (the single dispatch site).
 
     Used by :func:`run_cycle_accurate` and the multi-core sharding layer
     so engine selection and construction live in one place.
+    ``dram_contention`` is the number of cores sharing the DRAM device; the
+    event engine models the contention exactly through the shared bank
+    state, while the batched engine folds it into its analytic miss
+    latency.
     """
     resolved = resolve_engine(engine, compiled.graph)
     if resolved == "batched":
@@ -593,6 +630,7 @@ def build_simulator(
             max_cycles=max_cycles,
             thread_ids=thread_ids,
             memory=memory,
+            dram_contention=dram_contention,
         )
     return CycleSimulator(
         compiled,

@@ -26,7 +26,6 @@ import numpy as np
 from repro.errors import DeadlockError, SimulationError
 from repro.graph.dfg import DataflowGraph
 from repro.graph.interthread import eldst_source, elevator_source
-from repro.graph.node import Node
 from repro.graph.opcodes import Opcode
 from repro.graph.semantics import PURE_OPCODES, coerce, evaluate_pure
 from repro.kernel.geometry import ThreadGeometry

@@ -10,7 +10,6 @@ block per core, which is how the paper evaluates a single SM / CGRA core.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
 
 import numpy as np
 

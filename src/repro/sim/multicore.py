@@ -3,23 +3,38 @@
 The paper evaluates one thread block on one core (Sec. 5.1); this module
 is the scaling layer on top of that model: a :class:`KernelLaunch` is
 sharded across ``SystemConfig.cores`` simulated cores with a block-cyclic
-thread partition.  Each core runs its thread subset on its own
-:class:`~repro.memory.hierarchy.MemoryHierarchy` (private L1/L2/DRAM
-timing state) against the shared functional memory image, and the
-per-core :class:`~repro.sim.stats.ExecutionStats` are combined with
-:meth:`ExecutionStats.merge` (cycles take the maximum — the cores run
-concurrently — and volume counters the sum).
+thread partition.
 
-Sharding requires an inter-thread-free graph: ELEVATOR/ELDST/BARRIER
-nodes couple threads, and tokens cannot cross cores.  Use
-:func:`run_sharded`, which transparently falls back to a single core for
-graphs that do communicate between threads (inter-thread communication
-stays confined to one core, matching the paper's one-block-per-core
-model).
+Sharding legality (window-aligned partitioning)
+-----------------------------------------------
+Inter-thread communication never crosses a transmission-window boundary
+(Sec. 3.2, :func:`repro.graph.interthread.same_window`), so a kernel that
+communicates between threads *can* be sharded as long as every shard is a
+union of whole windows.  :func:`plan_shards` inspects every
+ELEVATOR/ELDST (and windowed BARRIER) node, takes the LCM of their
+windows, and aligns the block-cyclic shard block to a multiple of that
+LCM; graphs whose only inter-thread node is an un-windowed BARRIER shard
+with a per-shard barrier, which preserves every value as long as no data
+flows through the scratchpad.  Only when no legal cut exists — an
+unbounded window, a window spanning the whole block, or whole-block
+scratchpad synchronisation — does :func:`run_sharded` fall back to a
+single core, recording the reason in ``stats.extra["shard_fallback_reason"]``.
+
+Memory model
+------------
+Each core owns a private L1 and a ``1/cores`` slice of the L2
+(:meth:`MemorySystemConfig.sliced`), but all cores contend for one
+:class:`~repro.memory.shared_dram.SharedDRAM` device through per-core
+ports, so DRAM bandwidth no longer multiplies with the core count.  Set
+``SystemConfig.shared_dram=False`` to restore the legacy private-DRAM
+model.  Per-core :class:`~repro.sim.stats.ExecutionStats` are combined
+with :meth:`ExecutionStats.merge` (cycles take the maximum — the cores
+run concurrently — and volume counters the sum).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -27,13 +42,22 @@ import numpy as np
 
 from repro.compiler.pipeline import CompiledKernel
 from repro.errors import SimulationError
+from repro.graph.interthread import communication_windows
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.image import MemoryImage
+from repro.memory.shared_dram import SharedDRAM
 from repro.sim.cycle import CycleResult, build_simulator, run_cycle_accurate
 from repro.sim.launch import KernelLaunch
 from repro.sim.stats import ExecutionStats
 
-__all__ = ["MulticoreResult", "shard_threads", "run_multicore", "run_sharded"]
+__all__ = [
+    "MulticoreResult",
+    "ShardPlan",
+    "plan_shards",
+    "shard_threads",
+    "run_multicore",
+    "run_sharded",
+]
 
 
 @dataclass
@@ -45,6 +69,8 @@ class MulticoreResult:
     memory: MemoryImage
     outputs: dict[str, list[Any]]
     core_results: list[CycleResult] = field(default_factory=list)
+    shared_dram: SharedDRAM | None = None
+    plan: "ShardPlan | None" = None
 
     @property
     def cores(self) -> int:
@@ -57,12 +83,87 @@ class MulticoreResult:
         return self.outputs[name]
 
     def counters(self) -> dict[str, int | float]:
-        """Merged execution counters plus summed per-core hierarchy counters."""
+        """Merged execution counters plus summed per-core hierarchy counters.
+
+        With a shared DRAM each core's hierarchy reports only its own port
+        traffic, so the per-core sum still counts every device access
+        exactly once.
+        """
         merged: dict[str, int | float] = dict(self.stats.as_dict())
         for result in self.core_results:
             for key, value in result.hierarchy.stats().flat().items():
                 merged[key] = merged.get(key, 0) + value
         return merged
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How (or why not) one compiled kernel shards across cores.
+
+    ``block`` is the block-cyclic shard block size, always a multiple of
+    ``window_lcm`` so every shard is a union of whole transmission
+    windows; ``fallback_reason`` is set when the graph admits no legal
+    multi-core cut and the launch must run on a single core.
+    """
+
+    cores: int
+    block: int
+    window_lcm: int
+    fallback_reason: str | None = None
+
+    @property
+    def sharded(self) -> bool:
+        return self.cores > 1 and self.fallback_reason is None
+
+
+def _fallback(block: int, reason: str) -> ShardPlan:
+    return ShardPlan(cores=1, block=block, window_lcm=1, fallback_reason=reason)
+
+
+def plan_shards(
+    compiled: CompiledKernel, cores: int | None = None, block: int | None = None
+) -> ShardPlan:
+    """Pick a window-aligned block-cyclic partition for ``compiled``.
+
+    The shard boundary legality rule is ``boundary ≡ 0 (mod LCM of all
+    transmission windows)``: every ELEVATOR/ELDST node must carry a
+    bounded ``window`` and every shard block is padded up to a multiple
+    of the windows' least common multiple.  BARRIER nodes contribute
+    their ``window`` if they have one; an un-windowed barrier is legal
+    per-shard only when the graph moves no data through the scratchpad.
+    """
+    config = compiled.config
+    cores = config.cores if cores is None else int(cores)
+    if cores < 1:
+        raise SimulationError("cores must be >= 1")
+    base_block = max(1, compiled.replicas) if block is None else int(block)
+    if base_block < 1:
+        raise SimulationError("shard block size must be >= 1")
+    if cores == 1:
+        return ShardPlan(cores=1, block=base_block, window_lcm=1)
+
+    num_threads = compiled.num_threads
+    windows, reason = communication_windows(compiled.graph)
+    if reason is not None:
+        return _fallback(base_block, reason)
+
+    lcm = 1
+    for window in windows:
+        lcm = math.lcm(lcm, window)
+    if windows and lcm >= num_threads:
+        return _fallback(
+            base_block,
+            f"transmission windows span the whole block "
+            f"(LCM {lcm} >= {num_threads} threads)",
+        )
+    aligned = -(-base_block // lcm) * lcm
+    if aligned >= num_threads:
+        return _fallback(
+            aligned,
+            f"shard block of {aligned} leaves no work for a second core "
+            f"({num_threads} threads)",
+        )
+    return ShardPlan(cores=cores, block=aligned, window_lcm=lcm)
 
 
 def shard_threads(num_threads: int, cores: int, block: int) -> list[np.ndarray]:
@@ -71,7 +172,9 @@ def shard_threads(num_threads: int, cores: int, block: int) -> list[np.ndarray]:
     Consecutive blocks of ``block`` linear thread IDs are dealt to the
     cores round-robin, so every core sees a representative slice of the
     TID space (and therefore of the address space) instead of one
-    contiguous chunk.
+    contiguous chunk.  For communicating kernels ``block`` must be a
+    multiple of the graph's window LCM (see :func:`plan_shards`) so that
+    each block is a union of whole transmission windows.
     """
     if cores < 1:
         raise SimulationError("cores must be >= 1")
@@ -92,24 +195,37 @@ def run_multicore(
 ) -> MulticoreResult:
     """Shard ``launch`` across ``cores`` simulated cores and run them.
 
-    The cores are simulated sequentially but modelled as concurrent:
-    each gets a private memory hierarchy and its own injection stream,
-    and the merged ``cycles`` is the maximum over cores.
+    The cores are simulated sequentially but modelled as concurrent: each
+    gets a private L1 and L2 slice, its own injection stream, and a port
+    onto the shared DRAM device (``SystemConfig.shared_dram``), and the
+    merged ``cycles`` is the maximum over cores.  Communicating kernels
+    are accepted whenever :func:`plan_shards` finds a window-aligned cut;
+    otherwise a :class:`SimulationError` explains why (use
+    :func:`run_sharded` for the transparent single-core fallback).
     """
     config = compiled.config
     cores = config.cores if cores is None else int(cores)
-    if cores < 1:
-        raise SimulationError("cores must be >= 1")
-    if compiled.graph.has_interthread():
+    plan = plan_shards(compiled, cores=cores, block=block)
+    if cores > 1 and plan.fallback_reason is not None:
         raise SimulationError(
-            "cannot shard a graph with inter-thread dependences "
-            "(ELEVATOR/ELDST/BARRIER nodes) across cores; use run_sharded() "
-            "to fall back to a single core"
+            f"cannot shard '{compiled.graph.name}' across {cores} cores: "
+            f"{plan.fallback_reason}"
         )
-    block = max(1, compiled.replicas) if block is None else int(block)
+    if compiled.graph.has_interthread() and engine == "batched":
+        engine = "event"
+
+    shards = shard_threads(compiled.num_threads, cores, plan.block)
+    active = sum(1 for shard in shards if shard.size)
+    shared = (
+        SharedDRAM(config.memory.dram, line_bytes=config.memory.l2.line_bytes)
+        if config.shared_dram and active > 1
+        else None
+    )
+    core_memory = (
+        config.memory.sliced(active) if config.shared_dram and active > 1 else config.memory
+    )
 
     memory = launch.build_memory_image()
-    shards = shard_threads(compiled.num_threads, cores, block)
     core_results: list[CycleResult] = []
     stats: ExecutionStats | None = None
     outputs: dict[str, list[Any]] = {}
@@ -120,10 +236,13 @@ def run_multicore(
             compiled,
             launch,
             engine=engine,
-            hierarchy=MemoryHierarchy(config.memory),
+            hierarchy=MemoryHierarchy(
+                core_memory, dram=shared.port() if shared else None
+            ),
             max_cycles=max_cycles,
             thread_ids=shard,
             memory=memory,
+            dram_contention=active if shared else 1,
         )
         result = simulator.run()
         core_results.append(result)
@@ -134,6 +253,9 @@ def run_multicore(
                 slot[tid] = values[tid]
     if stats is None:
         raise SimulationError("launch has no threads to shard")
+    stats.extra["sharded_cores"] = len(core_results)
+    stats.extra["shard_block"] = plan.block
+    stats.extra["shard_window_lcm"] = plan.window_lcm
 
     return MulticoreResult(
         cycles=stats.cycles,
@@ -141,6 +263,8 @@ def run_multicore(
         memory=memory,
         outputs=outputs,
         core_results=core_results,
+        shared_dram=shared,
+        plan=plan,
     )
 
 
@@ -154,27 +278,34 @@ def run_sharded(
 ) -> CycleResult | MulticoreResult:
     """Run ``launch`` on the configured number of cores.
 
-    Inter-thread-free kernels are sharded block-cyclically across
-    ``cores`` (default ``SystemConfig.cores``); kernels that communicate
-    between threads fall back to a single core, because tokens cannot
-    cross the core boundary.  The ``engine`` request is best-effort in
-    the same way: forcing ``"batched"`` applies it wherever the graph is
-    legal for it and quietly uses the event engine for communicating
-    kernels, so suite-wide sweeps (``--engine batched``) run everything
-    instead of failing on the first barrier.
+    Kernels whose inter-thread communication fits inside bounded
+    transmission windows are sharded block-cyclically across ``cores``
+    (default ``SystemConfig.cores``) with shard boundaries aligned to the
+    LCM of the windows; kernels that admit no legal cut fall back to a
+    single core with the reason recorded in
+    ``stats.extra["shard_fallback_reason"]``, so benchmark sweeps can
+    tell sharded runs from fallback runs.  The ``engine`` request is
+    best-effort in the same way: forcing ``"batched"`` applies it
+    wherever the graph is legal for it and quietly uses the event engine
+    for communicating kernels, so suite-wide sweeps (``--engine
+    batched``) run everything instead of failing on the first barrier.
     """
     cores = compiled.config.cores if cores is None else int(cores)
     if compiled.graph.has_interthread() and engine == "batched":
         engine = "event"
-    if cores <= 1 or compiled.graph.has_interthread():
-        return run_cycle_accurate(
+    plan = plan_shards(compiled, cores=cores, block=block)
+    if not plan.sharded:
+        result = run_cycle_accurate(
             compiled, launch, engine=engine, max_cycles=max_cycles
         )
+        if cores > 1 and plan.fallback_reason is not None:
+            result.stats.extra["shard_fallback_reason"] = plan.fallback_reason
+        return result
     return run_multicore(
         compiled,
         launch,
         cores=cores,
         engine=engine,
-        block=block,
+        block=plan.block,
         max_cycles=max_cycles,
     )

@@ -9,6 +9,7 @@ evaluation pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = ["ExecutionStats"]
 
@@ -60,15 +61,24 @@ class ExecutionStats:
     register_reads: int = 0
     register_writes: int = 0
 
-    extra: dict[str, int] = field(default_factory=dict)
+    #: Free-form counters; values are usually numeric, but annotations such
+    #: as ``shard_fallback_reason`` may carry strings.
+    extra: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ helpers
-    def bump(self, name: str, amount: int | float = 1) -> None:
-        """Increment a named counter (core field or ``extra``)."""
+    def bump(self, name: str, amount: int | float | str = 1) -> None:
+        """Increment a named counter (core field or ``extra``).
+
+        Non-numeric values (annotations like ``shard_fallback_reason``)
+        are stored last-writer-wins instead of summed.
+        """
         if hasattr(self, name) and name != "extra":
             setattr(self, name, getattr(self, name) + amount)
+        elif isinstance(amount, (int, float)):
+            current = self.extra.get(name, 0)
+            self.extra[name] = (current if isinstance(current, (int, float)) else 0) + amount
         else:
-            self.extra[name] = self.extra.get(name, 0) + amount
+            self.extra[name] = amount
 
     @property
     def compute_ops(self) -> int:

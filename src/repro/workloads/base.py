@@ -19,13 +19,14 @@ energy comparison meaningful.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 import numpy as np
 
 from repro.errors import WorkloadError
 from repro.graph.dfg import DataflowGraph
+from repro.graph.opcodes import Opcode
 from repro.gpgpu.program import SimtProgram
 from repro.sim.launch import KernelLaunch
 
@@ -45,11 +46,13 @@ class PreparedWorkload:
     expected: dict[str, np.ndarray]
 
     def launch(self, architecture: str) -> KernelLaunch:
-        """Build the dataflow launch for ``mt``, ``dmt`` or ``stream``."""
+        """Build the dataflow launch for ``mt``, ``dmt``, ``dmt_win`` or ``stream``."""
         if architecture == "mt":
             graph = self.workload.build_mt(self.params)
         elif architecture == "dmt":
             graph = self.workload.build_dmt(self.params)
+        elif architecture == "dmt_win":
+            graph = self.workload.build_dmt_windowed(self.params)
         elif architecture == "stream":
             graph = self.workload.build_stream(self.params)
         else:
@@ -107,7 +110,9 @@ class Workload(abc.ABC):
         """Default problem-size parameters."""
 
     @abc.abstractmethod
-    def make_inputs(self, params: Mapping[str, Any], rng: np.random.Generator) -> dict[str, np.ndarray]:
+    def make_inputs(
+        self, params: Mapping[str, Any], rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
         """Generate the input arrays for one run."""
 
     @abc.abstractmethod
@@ -144,6 +149,44 @@ class Workload(abc.ABC):
     def has_stream_variant(self) -> bool:
         """True if :meth:`build_stream` is overridden by this workload."""
         return type(self).build_stream is not Workload.build_stream
+
+    def build_dmt_windowed(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """dMT kernel whose inter-thread communication is window-bounded.
+
+        Every ELEVATOR/ELDST node carries an explicit transmission
+        ``window`` (Sec. 3.2), which is what makes the kernel legal for
+        the window-aligned multi-core sharding of
+        :mod:`repro.sim.multicore`.  Workloads whose default dMT graph is
+        already windowed (e.g. reduce) do not need to override this;
+        workloads whose communication pattern inherently spans the block
+        (e.g. scan's running recurrence) have no windowed form.
+        """
+        graph = self.build_dmt(params)
+        unbounded = [
+            node.label()
+            for node in graph.nodes_with_opcode(Opcode.ELEVATOR, Opcode.ELDST)
+            if node.param("window") is None
+        ]
+        if unbounded:
+            raise WorkloadError(
+                f"workload '{self.name}' has no window-bounded dMT variant "
+                f"(unbounded: {', '.join(unbounded)})"
+            )
+        return graph
+
+    def has_windowed_variant(self) -> bool:
+        """True if a window-bounded dMT graph is available.
+
+        Either :meth:`build_dmt_windowed` is overridden, or the default
+        dMT graph already bounds every inter-thread node with a window.
+        """
+        if type(self).build_dmt_windowed is not Workload.build_dmt_windowed:
+            return True
+        try:
+            self.build_dmt_windowed(self.default_params())
+        except WorkloadError:
+            return False
+        return True
 
     # -------------------------------------------------------------- conveniences
     def params_with_defaults(self, overrides: Mapping[str, Any] | None = None) -> dict[str, Any]:

@@ -19,7 +19,6 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.graph.dfg import DataflowGraph
-from repro.graph.opcodes import DType
 from repro.gpgpu.isa import Imm, Op
 from repro.gpgpu.program import SimtProgram, SimtProgramBuilder
 from repro.kernel.builder import KernelBuilder
@@ -40,7 +39,9 @@ class ConvolutionWorkload(Workload):
     def default_params(self) -> dict[str, Any]:
         return {"n": 256, "k0": 0.25, "k1": 0.5, "k2": 0.25}
 
-    def make_inputs(self, params: Mapping[str, Any], rng: np.random.Generator) -> dict[str, np.ndarray]:
+    def make_inputs(
+        self, params: Mapping[str, Any], rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
         return {"img": rng.uniform(-1.0, 1.0, params["n"])}
 
     def reference(self, params, inputs) -> dict[str, np.ndarray]:

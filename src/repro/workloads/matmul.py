@@ -82,6 +82,41 @@ class MatmulWorkload(Workload):
         b.store("c", tid, acc)
         return b.finish()
 
+    # -------------------------------------------------------------- windowed
+    def build_dmt_windowed(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Row-windowed dMT variant for multi-core sharding.
+
+        The full dMT kernel forwards A along rows *and* B along columns;
+        the column chains span the whole block in linear TID space, so no
+        shard boundary is legal.  This variant keeps the row-wise A
+        forwarding — one window of ``dim`` linear TIDs per matrix row,
+        declared explicitly so the partition planner can cut between rows
+        — and lets every thread load its own B column values (``dim^2 +
+        dim^3`` loads instead of ``2*dim^2``; the halfway point between
+        the streaming and the fully-forwarded kernel).
+        """
+        dim = params["dim"]
+        b = KernelBuilder("matrixMul_dmt_win", (dim, dim))
+        b.global_array("a", dim * dim)
+        b.global_array("b", dim * dim)
+        b.global_array("c", dim * dim)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+
+        en_a = tx.eq(0)
+        row_base = ty * dim
+
+        acc = b.const(0.0)
+        for i in range(dim):
+            a_val = b.from_thread_or_mem(
+                "a", row_base + i, en_a, src_offset=(-1, 0), window=dim
+            )
+            b_val = b.load("b", b.const(i * dim) + tx)
+            acc = b.fma(a_val, b_val, acc)
+        b.store("c", tid, acc)
+        return b.finish()
+
     # ---------------------------------------------------------------- stream
     def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:
         """Inter-thread-free variant: every thread loads its full row of A

@@ -85,7 +85,9 @@ class SradWorkload(Workload):
     # --------------------------------------------------------------- helpers
     def _update(self, b: KernelBuilder, center: Value, diffs: list[Value], lam: float) -> Value:
         sum_d = diffs[0] + diffs[1] + diffs[2] + diffs[3]
-        g2_num = diffs[0] * diffs[0] + diffs[1] * diffs[1] + diffs[2] * diffs[2] + diffs[3] * diffs[3]
+        g2_num = (
+            diffs[0] * diffs[0] + diffs[1] * diffs[1] + diffs[2] * diffs[2] + diffs[3] * diffs[3]
+        )
         g2 = g2_num / (center * center + _EPS)
         c = b.rcp(g2 + 1.0)
         return center + c * sum_d * (0.25 * lam)

@@ -17,7 +17,10 @@ from repro.graph.opcodes import Opcode
 from repro.kernel.builder import KernelBuilder
 from repro.sim.cycle import run_cycle_accurate
 from repro.sim.functional import run_functional
+
 from repro.sim.launch import KernelLaunch
+
+pytestmark = pytest.mark.slow
 
 
 def _shift_kernel(n: int, distance: int):

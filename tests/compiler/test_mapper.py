@@ -3,7 +3,7 @@
 from repro.arch.grid import PhysicalGrid
 from repro.compiler.mapper.placement import AnnealingRefiner, GreedyPlacer, place_graph
 from repro.compiler.mapper.routing import route_placement
-from repro.config.system import CgraGridConfig, NocConfig, default_system_config
+from repro.config.system import CgraGridConfig, NocConfig
 from repro.graph.opcodes import UnitClass
 from repro.workloads.convolution import ConvolutionWorkload
 

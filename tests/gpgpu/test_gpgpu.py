@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import GpgpuExecutionError, IsaError
-from repro.gpgpu.isa import Imm, Instruction, Op, Pred, Reg
+from repro.gpgpu.isa import Imm, Instruction, Op, Reg
 from repro.gpgpu.program import SimtProgramBuilder
 from repro.gpgpu.simulator import run_fermi
 

@@ -1,0 +1,126 @@
+"""Shared-DRAM device, per-core ports and the sliced L2 memory model."""
+
+import numpy as np
+from dataclasses import replace
+
+from repro.compiler.pipeline import compile_kernel
+from repro.config.system import DramConfig, MemorySystemConfig, default_system_config
+from repro.kernel.builder import KernelBuilder
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.shared_dram import SharedDRAM
+from repro.sim.launch import KernelLaunch
+from repro.sim.multicore import run_multicore
+
+
+def test_port_stats_sum_to_device_stats():
+    shared = SharedDRAM(DramConfig(), line_bytes=128)
+    a, b = shared.port(), shared.port()
+    a.access(0, False, 0)
+    a.access(128, True, 0)
+    b.access(256, False, 0)
+    assert a.stats.reads == 1 and a.stats.writes == 1
+    assert b.stats.reads == 1 and b.stats.writes == 0
+    assert shared.stats.reads == 2 and shared.stats.writes == 1
+    assert shared.stats.accesses == a.stats.accesses + b.stats.accesses
+
+
+def test_ports_contend_for_the_same_bank():
+    config = DramConfig(channels=1, banks_per_channel=1, bank_busy_cycles=8)
+    shared = SharedDRAM(config, line_bytes=128)
+    a, b = shared.port(), shared.port()
+    first = a.access(0, False, 0)
+    second = b.access(0, False, 0)  # same line, same bank, same cycle
+    assert second == first + config.bank_busy_cycles
+    assert b.stats.queue_cycles == config.bank_busy_cycles
+    assert a.stats.queue_cycles == 0
+    # A private device would not have seen the other core's traffic.
+    private = SharedDRAM(config, line_bytes=128).port()
+    assert private.access(0, False, 0) == first
+
+
+def test_hierarchy_accepts_a_shared_port():
+    config = default_system_config().memory
+    shared = SharedDRAM(config.dram, line_bytes=config.l2.line_bytes)
+    h1 = MemoryHierarchy(config, dram=shared.port())
+    h2 = MemoryHierarchy(config, dram=shared.port())
+    h1.load(0, 0)
+    h2.load(1 << 20, 0)
+    assert h1.stats().flat()["dram_reads"] == 1
+    assert h2.stats().flat()["dram_reads"] == 1
+    assert shared.stats.reads == 2
+
+
+def test_l2_slicing_keeps_whole_sets():
+    memory = default_system_config().memory
+    sliced = memory.sliced(4)
+    set_bytes = memory.l2.line_bytes * memory.l2.ways
+    assert sliced.l2.size_bytes == memory.l2.size_bytes // 4
+    assert sliced.l2.size_bytes % set_bytes == 0
+    assert sliced.l1 == memory.l1
+    # Slicing never goes below one set, and one core keeps the full L2.
+    tiny = replace(
+        memory,
+        l2=replace(memory.l2, size_bytes=set_bytes),
+    )
+    assert tiny.sliced(8).l2.size_bytes == set_bytes
+    assert memory.sliced(1) is memory
+
+
+def _stream_launch(n=64):
+    b = KernelBuilder("axpy_shared", n)
+    b.global_array("x", n)
+    b.global_array("out", n)
+    tid = b.thread_idx_x()
+    b.store("out", tid, b.load("x", tid) * 3.0)
+    return KernelLaunch(b.finish(), {"x": np.arange(n) * 0.25})
+
+
+def test_multicore_shared_dram_counts_traffic_once():
+    launch = _stream_launch(n=64)
+    compiled = compile_kernel(launch.graph)
+    multi = run_multicore(compiled, launch, cores=4, engine="event")
+    assert multi.shared_dram is not None
+    counters = multi.counters()
+    per_port = sum(r.hierarchy.dram.stats.accesses for r in multi.core_results)
+    assert per_port == multi.shared_dram.stats.accesses
+    assert counters["dram_reads"] + counters["dram_writes"] == per_port
+
+
+def test_shared_dram_contention_slows_the_sharded_run():
+    """With one shared device, 4 cores see more DRAM queueing than one
+    core; with private DRAM per core (shared_dram=False), they do not."""
+    launch = _stream_launch(n=256)
+    compiled_shared = compile_kernel(launch.graph)
+    multi = run_multicore(compiled_shared, _stream_launch(n=256), cores=4, engine="event")
+    queue = sum(r.hierarchy.dram.stats.queue_cycles for r in multi.core_results)
+    assert queue > 0
+
+    config = replace(default_system_config(), cores=4, shared_dram=False).validate()
+    compiled_private = compile_kernel(launch.graph, config)
+    private = run_multicore(
+        compiled_private, _stream_launch(n=256), cores=4, engine="event"
+    )
+    assert private.shared_dram is None
+    private_queue = sum(r.hierarchy.dram.stats.queue_cycles for r in private.core_results)
+    assert queue >= private_queue
+    assert np.array_equal(multi.array("out"), private.array("out"))
+
+
+def test_batched_engine_mirrors_contention_into_its_estimate():
+    launch = _stream_launch(n=256)
+    compiled = compile_kernel(launch.graph)
+    single = run_multicore(compiled, _stream_launch(n=256), cores=1, engine="batched")
+    multi = run_multicore(compiled, _stream_launch(n=256), cores=4, engine="batched")
+    assert np.array_equal(single.array("out"), multi.array("out"))
+    multi_queue = sum(r.hierarchy.dram.stats.queue_cycles for r in multi.core_results)
+    single_queue = sum(r.hierarchy.dram.stats.queue_cycles for r in single.core_results)
+    assert multi_queue > single_queue == 0
+
+
+def test_sliced_l2_is_wired_into_the_cores():
+    launch = _stream_launch(n=64)
+    compiled = compile_kernel(launch.graph)
+    multi = run_multicore(compiled, launch, cores=4, engine="event")
+    full = default_system_config().memory.l2.size_bytes
+    for result in multi.core_results:
+        assert result.hierarchy.l2.config.size_bytes == full // 4

@@ -1,0 +1,265 @@
+"""Window-aligned multi-core sharding of communicating kernels."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_kernel
+from repro.errors import SimulationError
+from repro.graph.interthread import subset_closed_under_window, thread_subset_problem
+from repro.harness.experiments import run_workload
+from repro.kernel.builder import KernelBuilder
+from repro.sim.cycle import CycleSimulator, run_cycle_accurate
+from repro.sim.launch import KernelLaunch
+from repro.sim.multicore import plan_shards, run_multicore, run_sharded, shard_threads
+from repro.workloads.registry import get_workload
+
+#: Counters that must be equal between a sharded and a single-core run.
+OP_COUNTERS = (
+    "alu_ops",
+    "fpu_ops",
+    "global_loads",
+    "global_stores",
+    "elevator_retags",
+    "elevator_constants",
+    "eldst_forwards",
+    "eldst_memory_loads",
+    "tokens_sent",
+    "noc_hops",
+)
+
+
+def _windowed_elevator_launch(n=64, window=8, distance=1):
+    """A windowed neighbour-sum kernel (one ELEVATOR per thread pair)."""
+    b = KernelBuilder("windowed_sum", n)
+    b.global_array("x", n)
+    b.global_array("out", n)
+    tid = b.thread_idx_x()
+    value = b.load("x", tid)
+    b.tag_value("v", value)
+    left = b.from_thread_or_const("v", -distance, 0.0, window=window)
+    b.store("out", tid, value + left)
+    graph = b.finish()
+    data = np.arange(1.0, n + 1.0)
+    return KernelLaunch(graph, {"x": data}), data
+
+
+def _mixed_window_launch(n=48):
+    """Two elevators with windows 4 and 6 — the legal cut is their LCM, 12."""
+    b = KernelBuilder("mixed_windows", n)
+    b.global_array("x", n)
+    b.global_array("out", n)
+    tid = b.thread_idx_x()
+    value = b.load("x", tid)
+    b.tag_value("v", value)
+    a = b.from_thread_or_const("v", -1, 0.0, window=4)
+    c = b.from_thread_or_const("v", -1, 0.0, window=6)
+    b.store("out", tid, value + a + c)
+    graph = b.finish()
+    return KernelLaunch(graph, {"x": np.arange(1.0, n + 1.0)})
+
+
+def _barrier_only_launch(n=32, window=None):
+    """A barrier with no scratchpad traffic: values just pass through."""
+    b = KernelBuilder("barrier_only", n)
+    b.global_array("x", n)
+    b.global_array("out", n)
+    tid = b.thread_idx_x()
+    value = b.load("x", tid)
+    gated = b.barrier(value, window=window)
+    b.store("out", tid, gated * 2.0)
+    graph = b.finish()
+    data = np.arange(1.0, n + 1.0)
+    return KernelLaunch(graph, {"x": data}), data
+
+
+# ------------------------------------------------------------------ planner
+def test_plan_requires_bounded_windows(scan_launch):
+    launch, _ = scan_launch
+    compiled = compile_kernel(launch.graph)
+    plan = plan_shards(compiled, cores=4)
+    assert not plan.sharded
+    assert "no bounded transmission window" in plan.fallback_reason
+
+
+def test_plan_aligns_block_to_window_lcm():
+    launch = _mixed_window_launch(n=48)
+    compiled = compile_kernel(launch.graph)
+    plan = plan_shards(compiled, cores=2)
+    assert plan.sharded
+    assert plan.window_lcm == 12
+    assert plan.block % 12 == 0
+
+
+def test_plan_rounds_requested_block_up_to_the_window():
+    """A window larger than the requested block forces the block up."""
+    launch, _ = _windowed_elevator_launch(n=64, window=16)
+    compiled = compile_kernel(launch.graph)
+    plan = plan_shards(compiled, cores=2, block=3)
+    assert plan.sharded
+    assert plan.block == 16
+    for shard in shard_threads(64, 2, plan.block):
+        assert subset_closed_under_window(shard, 16, 64)
+
+
+def test_plan_falls_back_when_window_spans_the_block():
+    launch, _ = _windowed_elevator_launch(n=32, window=32)
+    compiled = compile_kernel(launch.graph)
+    plan = plan_shards(compiled, cores=4)
+    assert not plan.sharded
+    assert "span the whole block" in plan.fallback_reason
+
+
+def test_plan_single_core_never_reports_fallback():
+    launch, _ = _windowed_elevator_launch(n=32, window=32)
+    compiled = compile_kernel(launch.graph)
+    plan = plan_shards(compiled, cores=1)
+    assert plan.fallback_reason is None
+    assert not plan.sharded
+
+
+# ------------------------------------------------------------- shard_threads
+def test_shard_threads_more_cores_than_threads():
+    shards = shard_threads(3, cores=8, block=1)
+    assert len(shards) == 8
+    assert [s.tolist() for s in shards[:3]] == [[0], [1], [2]]
+    assert all(s.size == 0 for s in shards[3:])
+
+
+def test_multicore_skips_empty_shards():
+    launch, data = _windowed_elevator_launch(n=16, window=8)
+    compiled = compile_kernel(launch.graph)
+    result = run_multicore(compiled, launch, cores=8)
+    # Only two windows exist, so only two cores get work.
+    assert result.cores == 2
+    assert result.stats.threads == 16
+
+
+# ------------------------------------------------------- sharded equivalence
+def test_windowed_elevator_shards_bit_identically():
+    launch, _ = _windowed_elevator_launch(n=64, window=8)
+    compiled = compile_kernel(launch.graph)
+    single = run_cycle_accurate(compiled, _windowed_elevator_launch(n=64, window=8)[0])
+    multi = run_sharded(compiled, launch, cores=4)
+    assert multi.cores == 4
+    assert "shard_fallback_reason" not in multi.stats.extra
+    assert np.array_equal(single.array("out"), multi.array("out"))
+    single_counters = single.stats.as_dict()
+    multi_counters = multi.stats.as_dict()
+    for counter in OP_COUNTERS:
+        assert multi_counters[counter] == single_counters[counter], counter
+
+
+def test_reduce_dmt_shards_on_four_cores():
+    """The acceptance scenario: an ELEVATOR workload on SystemConfig(cores=4)
+    without fallback, bit-identical to the single-core run."""
+    workload = get_workload("reduce")
+    prepared = workload.prepare({"n": 256, "window": 64})
+    compiled = compile_kernel(prepared.launch("dmt").graph)
+    single = run_sharded(compiled, prepared.launch("dmt"), cores=1)
+    multi = run_sharded(compiled, prepared.launch("dmt"), cores=4)
+    assert multi.cores == 4
+    assert "shard_fallback_reason" not in multi.stats.extra
+    assert multi.stats.extra["sharded_cores"] == 4
+    assert np.array_equal(single.array("partials"), multi.array("partials"))
+    prepared.check_outputs({"partials": multi.array("partials")})
+    single_counters = single.stats.as_dict()
+    multi_counters = multi.stats.as_dict()
+    for counter in OP_COUNTERS:
+        assert multi_counters[counter] == single_counters[counter], counter
+
+
+def test_matmul_windowed_dmt_shards_on_four_cores():
+    workload = get_workload("matrixMul")
+    prepared = workload.prepare({"dim": 8})
+    compiled = compile_kernel(prepared.launch("dmt_win").graph)
+    single = run_sharded(compiled, prepared.launch("dmt_win"), cores=1)
+    multi = run_sharded(compiled, prepared.launch("dmt_win"), cores=4)
+    assert multi.cores == 4
+    assert "shard_fallback_reason" not in multi.stats.extra
+    assert np.array_equal(single.array("c"), multi.array("c"))
+    prepared.check_outputs({"c": multi.array("c")})
+    single_counters = single.stats.as_dict()
+    multi_counters = multi.stats.as_dict()
+    for counter in OP_COUNTERS:
+        assert multi_counters[counter] == single_counters[counter], counter
+    # Row forwarding still eliminates the redundant A loads: dim^3 B loads
+    # plus dim^2 forwarded A loads, versus 2*dim^3 for the streaming kernel.
+    dim = 8
+    assert single_counters["global_loads"] == dim**3 + dim**2
+
+
+def test_matmul_full_dmt_still_falls_back():
+    """The fully-forwarded matmul's column chains span the block; the
+    planner must refuse to cut it and record why."""
+    workload = get_workload("matrixMul")
+    prepared = workload.prepare({"dim": 8})
+    compiled = compile_kernel(prepared.launch("dmt").graph)
+    result = run_sharded(compiled, prepared.launch("dmt"), cores=4)
+    assert "shard_fallback_reason" in result.stats.extra
+    prepared.check_outputs({"c": result.array("c")})
+
+
+# ------------------------------------------------------------- barrier paths
+def test_barrier_only_graph_shards_with_per_shard_barrier():
+    launch, data = _barrier_only_launch(n=32)
+    compiled = compile_kernel(launch.graph)
+    single = run_cycle_accurate(compiled, _barrier_only_launch(n=32)[0])
+    multi = run_sharded(compiled, launch, cores=4)
+    assert multi.cores == 4
+    assert "shard_fallback_reason" not in multi.stats.extra
+    assert np.array_equal(single.array("out"), multi.array("out"))
+    np.testing.assert_allclose(multi.array("out"), data * 2.0)
+    assert multi.stats.barrier_arrivals == single.stats.barrier_arrivals == 32
+
+
+def test_windowed_barrier_releases_groups_independently():
+    whole, _ = _barrier_only_launch(n=32, window=None)
+    windowed, data = _barrier_only_launch(n=32, window=8)
+    whole_result = run_cycle_accurate(compile_kernel(whole.graph), whole)
+    win_result = run_cycle_accurate(compile_kernel(windowed.graph), windowed)
+    np.testing.assert_allclose(win_result.array("out"), data * 2.0)
+    # Each group of 8 releases as soon as it completes, so threads wait
+    # (strictly) less than behind one whole-block barrier.
+    assert win_result.stats.barrier_wait_cycles < whole_result.stats.barrier_wait_cycles
+
+
+def test_scratch_coupled_barrier_falls_back():
+    workload = get_workload("reduce")
+    prepared = workload.prepare({"n": 256, "window": 64})
+    compiled = compile_kernel(prepared.launch("mt").graph)
+    result = run_sharded(compiled, prepared.launch("mt"), cores=4)
+    assert "scratchpad" in result.stats.extra["shard_fallback_reason"]
+    prepared.check_outputs({"partials": result.array("partials")})
+
+
+# -------------------------------------------------------------- subset rules
+def test_misaligned_thread_subset_is_rejected():
+    launch, _ = _windowed_elevator_launch(n=64, window=8)
+    compiled = compile_kernel(launch.graph)
+    with pytest.raises(SimulationError):
+        CycleSimulator(compiled, launch, thread_ids=range(12))  # cuts a window
+
+
+def test_thread_subset_problem_accepts_window_unions():
+    launch, _ = _windowed_elevator_launch(n=64, window=8)
+    assert thread_subset_problem(launch.graph, list(range(8, 24)), 64) is None
+    assert thread_subset_problem(launch.graph, list(range(4, 12)), 64) is not None
+
+
+def test_run_sharded_records_fallback_reason(scan_launch):
+    launch, data = scan_launch
+    compiled = compile_kernel(launch.graph)
+    result = run_sharded(compiled, launch, cores=4)
+    assert "no bounded transmission window" in result.stats.extra["shard_fallback_reason"]
+    np.testing.assert_allclose(result.array("prefix"), np.cumsum(data))
+    # The reason string must survive the counters() merge for benchmarks.
+    assert "shard_fallback_reason" in result.counters()
+
+
+# ------------------------------------------------------------------- harness
+def test_harness_runs_windowed_variant_on_four_cores():
+    result = run_workload("reduce", "dmt", params={"n": 256, "window": 64}, cores=4)
+    assert result.counters["sharded_cores"] == 4
+    result_win = run_workload("matrixMul", "dmt_win", params={"dim": 8}, cores=4)
+    assert result_win.counters["sharded_cores"] == 4
+    assert "shard_fallback_reason" not in result_win.counters

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -22,6 +23,10 @@ from repro.sim.functional import run_functional
 from repro.sim.launch import KernelLaunch
 from repro.workloads.registry import all_workloads
 from repro.workloads.reduce import windowed_partial_sums
+
+# Property sweeps are the slow lane: CI's fast test job skips them with
+# ``-m "not slow"``; the full tier-1 run (and the CI tier1 job) includes them.
+pytestmark = pytest.mark.slow
 
 # --------------------------------------------------------------------- dims
 block_dims = st.one_of(

@@ -143,7 +143,10 @@ def test_matmul_dmt_reduces_global_loads_versus_mt():
     mt = prepared.launch("mt")
     dmt_result = run_cycle_accurate(compile_kernel(dmt.graph), dmt)
     mt_result = run_cycle_accurate(compile_kernel(mt.graph), mt)
-    assert dmt_result.stats.global_loads < mt_result.stats.global_loads + mt_result.stats.scratch_loads
+    assert (
+        dmt_result.stats.global_loads
+        < mt_result.stats.global_loads + mt_result.stats.scratch_loads
+    )
 
 
 def test_reference_outputs_are_deterministic():
