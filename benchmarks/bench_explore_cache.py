@@ -1,0 +1,80 @@
+"""Explore-subsystem smoke gate: cold campaign, then 100% cache hits.
+
+Runs a small 4-point campaign (2 token-buffer depths x 2 workloads at 128
+threads) twice against a throwaway cache directory and asserts that the
+second run re-simulates nothing — the content-addressed cache must turn a
+byte-identical campaign into pure hits.  The measured cold-vs-cached wall
+clock is the table quoted by ROADMAP.md's "Design-space exploration"
+section.  Usage::
+
+    pytest benchmarks/bench_explore_cache.py -s
+    python benchmarks/bench_explore_cache.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+from repro.explore.runner import run_campaign
+from repro.explore.spec import CampaignSpec
+
+#: 2 workloads x 2 token-buffer depths, both at 128 threads.
+SPEC = CampaignSpec(
+    name="explore-smoke",
+    workloads=("convolution", "reduce"),
+    variants=("dmt",),
+    params={"convolution": {"n": 128}, "reduce": {"n": 128, "window": 32}},
+    grid=(("token_buffer.entries", (8, 16)),),
+)
+
+
+def _measure(jobs: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="explore-cache-") as cache_dir:
+        started = time.perf_counter()
+        cold = run_campaign(SPEC, jobs=jobs, cache_dir=cache_dir)
+        cold_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = run_campaign(SPEC, jobs=jobs, cache_dir=cache_dir)
+        warm_s = time.perf_counter() - started
+
+    assert cold.total == 4, f"expected 4 points, got {cold.total}"
+    assert not cold.errors, [o.record.get("error") for o in cold.errors]
+    assert cold.misses == 4, "first run must simulate everything"
+    assert warm.hits == warm.total == 4, (
+        f"second run must be 100% cache hits, got {warm.hits}/{warm.total}"
+    )
+    assert warm.misses == 0
+    return {"points": cold.total, "cold_s": cold_s, "warm_s": warm_s}
+
+
+def _print_table(row: dict, jobs: int) -> None:
+    print(f"\nexplore campaign '{SPEC.name}' ({row['points']} points, jobs={jobs}):")
+    header = f"{'run':>8} {'wall [s]':>9} {'hits':>5}"
+    print(header)
+    print("-" * len(header))
+    print(f"{'cold':>8} {row['cold_s']:>9.2f} {'0/4':>5}")
+    print(f"{'cached':>8} {row['warm_s']:>9.2f} {'4/4':>5}")
+    print(f"cached run is {row['cold_s'] / max(row['warm_s'], 1e-9):.0f}x faster")
+
+
+def test_second_campaign_run_is_all_cache_hits():
+    row = _measure(jobs=2)
+    _print_table(row, jobs=2)
+    assert row["warm_s"] < row["cold_s"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args()
+    row = _measure(jobs=args.jobs)
+    _print_table(row, jobs=args.jobs)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ from repro.config.system import (
     ScratchpadConfig,
     SystemConfig,
     TokenBufferConfig,
+    canonical_config_json,
+    config_digest,
     default_system_config,
 )
 
@@ -25,5 +27,7 @@ __all__ = [
     "ScratchpadConfig",
     "SystemConfig",
     "TokenBufferConfig",
+    "canonical_config_json",
+    "config_digest",
     "default_system_config",
 ]

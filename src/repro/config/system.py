@@ -24,8 +24,11 @@ two warp schedulers, 48 resident warps).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field, asdict
-from typing import Any
+from typing import Any, Mapping, get_type_hints
 
 from repro.errors import ConfigurationError
 
@@ -40,8 +43,42 @@ __all__ = [
     "FermiSmConfig",
     "LatencyConfig",
     "SystemConfig",
+    "canonical_config_json",
+    "config_digest",
     "default_system_config",
 ]
+
+
+def _dataclass_from_dict(cls: type, data: Mapping[str, Any]) -> Any:
+    """Reconstruct a (possibly nested) config dataclass from a plain dict.
+
+    The inverse of :func:`dataclasses.asdict`: every field whose declared
+    type is itself one of the config dataclasses is rebuilt recursively.
+    Unknown keys are rejected so a digest is never computed over silently
+    dropped configuration.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"{cls.__name__}: expected a mapping, got {type(data).__name__}"
+        )
+    hints = get_type_hints(cls)
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ConfigurationError(
+            f"{cls.__name__}: unknown configuration key(s) {sorted(unknown)}"
+        )
+    kwargs: dict[str, Any] = {}
+    for name, value in data.items():
+        hint = hints.get(name)
+        if dataclasses.is_dataclass(hint):
+            kwargs[name] = _dataclass_from_dict(hint, value)
+        else:
+            kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:  # e.g. a required field is missing
+        raise ConfigurationError(f"{cls.__name__}: {exc}") from exc
 
 
 @dataclass(frozen=True)
@@ -362,6 +399,22 @@ class SystemConfig:
         """Return the configuration as a nested dictionary (Table 2 dump)."""
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SystemConfig":
+        """Rebuild a validated :class:`SystemConfig` from :meth:`to_dict` output.
+
+        The round-trip is exact — ``SystemConfig.from_dict(cfg.to_dict())
+        == cfg`` — and survives a JSON serialisation in between, which is
+        what lets campaign specs and result caches treat configurations as
+        plain data.  Unknown keys raise :class:`ConfigurationError`.
+        """
+        config = _dataclass_from_dict(cls, data)
+        return config.validate()
+
+    def digest(self) -> str:
+        """Stable SHA-256 over the canonical JSON form of this configuration."""
+        return config_digest(self)
+
     def describe(self) -> str:
         """Render a human-readable Table 2-style configuration summary."""
         g = self.grid
@@ -390,6 +443,22 @@ class SystemConfig:
             f"{m.scratchpad.size_bytes // 1024}KB shared memory",
         ]
         return "\n".join(lines)
+
+
+def canonical_config_json(config: "SystemConfig | Mapping[str, Any]") -> str:
+    """Canonical JSON form of a configuration (sorted keys, no whitespace).
+
+    Canonicalisation makes the serialisation independent of dict insertion
+    order and of the process that produced it, so digests computed in
+    different worker processes (or on different days) agree byte for byte.
+    """
+    data = config.to_dict() if isinstance(config, SystemConfig) else config
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def config_digest(config: "SystemConfig | Mapping[str, Any]") -> str:
+    """Stable SHA-256 hex digest of a configuration (object or dict form)."""
+    return hashlib.sha256(canonical_config_json(config).encode("utf-8")).hexdigest()
 
 
 def default_system_config() -> SystemConfig:

@@ -22,6 +22,7 @@ __all__ = [
     "GpgpuExecutionError",
     "ConfigurationError",
     "WorkloadError",
+    "ExplorationError",
 ]
 
 
@@ -79,3 +80,7 @@ class GpgpuExecutionError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was instantiated with unsupported parameters."""
+
+
+class ExplorationError(ReproError):
+    """A design-space exploration campaign spec or cache is inconsistent."""

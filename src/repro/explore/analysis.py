@@ -1,0 +1,190 @@
+"""Campaign analysis: Pareto frontiers, sensitivity, best configurations.
+
+Consumes the plain point records a campaign produced (from a
+:class:`~repro.explore.runner.CampaignResult` or straight out of the
+cache) and renders the same plain-text tables the rest of the evaluation
+pipeline uses (:func:`repro.analysis.report.format_table`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.report import format_table
+from repro.explore.spec import CampaignSpec
+
+__all__ = [
+    "best_per_workload",
+    "pareto_front",
+    "render_campaign_report",
+    "sensitivity_rows",
+]
+
+
+def _ok_records(records: Sequence[Mapping[str, Any]]) -> list[Mapping[str, Any]]:
+    return [r for r in records if r.get("status") == "ok" and r.get("result")]
+
+
+def _overrides_label(record: Mapping[str, Any]) -> str:
+    overrides = record["point"].get("overrides", {})
+    if not overrides:
+        return "(defaults)"
+    return ",".join(f"{path}={value}" for path, value in sorted(overrides.items()))
+
+
+def pareto_front(records: Sequence[Mapping[str, Any]]) -> list[Mapping[str, Any]]:
+    """Non-dominated records under (minimise cycles, minimise energy).
+
+    A record is on the frontier when no other record has both fewer (or
+    equal) cycles and less (or equal) energy with at least one strict
+    improvement.  Input records for several workloads should be split by
+    the caller — cycles are only comparable within one workload.
+    """
+    ok = _ok_records(records)
+    ranked = sorted(ok, key=lambda r: (r["result"]["cycles"], r["result"]["energy_pj"]))
+    front: list[Mapping[str, Any]] = []
+    best_energy = float("inf")
+    last_kept: tuple[int, float] | None = None
+    for record in ranked:
+        point = (record["result"]["cycles"], record["result"]["energy_pj"])
+        if point[1] < best_energy:
+            front.append(record)
+            best_energy = point[1]
+            last_kept = point
+        elif point == last_kept:
+            # Equal in both objectives: nothing strictly dominates it, so a
+            # co-optimal alternative configuration stays on the frontier.
+            front.append(record)
+    return front
+
+
+def sensitivity_rows(
+    records: Sequence[Mapping[str, Any]], path: str
+) -> list[tuple[Any, int, float, float]]:
+    """Mean cycles/energy per value of one swept config ``path``.
+
+    Averaging over every other axis is the usual one-factor sensitivity
+    view: it shows whether (and how steeply) the parameter matters at all
+    before anyone digs into interactions.
+    """
+    groups: dict[Any, list[Mapping[str, Any]]] = defaultdict(list)
+    for record in _ok_records(records):
+        overrides = record["point"].get("overrides", {})
+        if path in overrides:
+            groups[overrides[path]].append(record)
+    rows = []
+    for value in sorted(groups):
+        members = groups[value]
+        mean_cycles = sum(r["result"]["cycles"] for r in members) / len(members)
+        mean_energy = sum(r["result"]["energy_pj"] for r in members) / len(members)
+        rows.append((value, len(members), mean_cycles, mean_energy))
+    return rows
+
+
+def best_per_workload(
+    records: Sequence[Mapping[str, Any]],
+) -> dict[str, Mapping[str, Any]]:
+    """The fastest configuration of each workload (energy breaks ties)."""
+    best: dict[str, Mapping[str, Any]] = {}
+    for record in _ok_records(records):
+        workload = record["point"]["workload"]
+        current = best.get(workload)
+        key = (record["result"]["cycles"], record["result"]["energy_pj"])
+        if current is None or key < (
+            current["result"]["cycles"],
+            current["result"]["energy_pj"],
+        ):
+            best[workload] = record
+    return best
+
+
+def render_campaign_report(
+    spec: CampaignSpec, records: Sequence[Mapping[str, Any]]
+) -> str:
+    """Render the full campaign report (Pareto, sensitivity, best configs)."""
+    ok = _ok_records(records)
+    errors = [r for r in records if r.get("status") != "ok"]
+    sections = [
+        f"Campaign '{spec.name}': {len(records)} points "
+        f"({len(ok)} ok, {len(errors)} errors)"
+    ]
+
+    by_workload: dict[str, list[Mapping[str, Any]]] = defaultdict(list)
+    for record in ok:
+        by_workload[record["point"]["workload"]].append(record)
+
+    pareto_rows = []
+    for workload in sorted(by_workload):
+        for record in pareto_front(by_workload[workload]):
+            result = record["result"]
+            pareto_rows.append(
+                [
+                    workload,
+                    record["point"]["variant"],
+                    _overrides_label(record),
+                    result["counters"].get("engine", "?"),
+                    result["cycles"],
+                    f"{result['energy_pj'] / 1e6:.3f}",
+                ]
+            )
+    sections.append("Pareto frontier (cycles vs energy, per workload)")
+    sections.append(
+        format_table(
+            ["Workload", "Variant", "Config", "Engine", "Cycles", "Energy [uJ]"],
+            pareto_rows,
+        )
+    )
+
+    for path in spec.swept_paths():
+        rows = sensitivity_rows(records, path)
+        if not rows:
+            continue
+        sections.append(f"Sensitivity to {path} (means over all other axes)")
+        sections.append(
+            format_table(
+                [path, "Points", "Mean cycles", "Mean energy [uJ]"],
+                [
+                    [value, count, f"{cycles:.1f}", f"{energy / 1e6:.3f}"]
+                    for value, count, cycles, energy in rows
+                ],
+            )
+        )
+
+    best = best_per_workload(records)
+    if best:
+        sections.append("Best configuration per workload (min cycles)")
+        sections.append(
+            format_table(
+                ["Workload", "Variant", "Config", "Cycles", "Energy [uJ]"],
+                [
+                    [
+                        workload,
+                        record["point"]["variant"],
+                        _overrides_label(record),
+                        record["result"]["cycles"],
+                        f"{record['result']['energy_pj'] / 1e6:.3f}",
+                    ]
+                    for workload, record in sorted(best.items())
+                ],
+            )
+        )
+
+    if errors:
+        sections.append("Errors")
+        sections.append(
+            format_table(
+                ["Workload", "Variant", "Config", "Error"],
+                [
+                    [
+                        r["point"]["workload"],
+                        r["point"]["variant"],
+                        _overrides_label(r),
+                        r.get("error", "?"),
+                    ]
+                    for r in errors
+                ],
+            )
+        )
+
+    return "\n\n".join(sections)

@@ -1,0 +1,108 @@
+"""Content-addressed JSONL result cache for exploration campaigns.
+
+Every simulated point is stored as one JSON line under the cache
+directory (default ``.explore-cache/``), keyed by the point's SHA-256
+identity (:meth:`repro.explore.spec.RunPoint.key`).  Appending one line
+per completed point makes the cache naturally resumable: a campaign
+killed halfway leaves a valid prefix (plus at most one truncated line,
+which is skipped on load), and re-running the campaign simulates only the
+missing points.  Because keys are content-addressed, byte-identical specs
+— and different campaigns that happen to share points — hit the same
+entries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.explore.spec import CACHE_SCHEMA_VERSION
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache"]
+
+DEFAULT_CACHE_DIR = Path(".explore-cache")
+
+
+class ResultCache:
+    """Append-only JSONL store of point records, keyed by content hash."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.path = self.root / "points.jsonl"
+        self._records: dict[str, dict[str, Any]] = {}
+        self._loaded = False
+
+    # ------------------------------------------------------------------ loading
+    def load(self) -> "ResultCache":
+        """Read every valid record; corrupt or truncated lines are skipped.
+
+        Partial final lines are the expected debris of a killed campaign,
+        not an error — resume must work on exactly such files.
+        """
+        self._records.clear()
+        self._loaded = True
+        if not self.path.exists():
+            return self
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if (
+                    not isinstance(entry, dict)
+                    or entry.get("schema") != CACHE_SCHEMA_VERSION
+                    or "key" not in entry
+                    or "record" not in entry
+                ):
+                    continue
+                # Last writer wins, matching append order.
+                self._records[str(entry["key"])] = entry["record"]
+        return self
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.load()
+
+    # ------------------------------------------------------------------ queries
+    def __contains__(self, key: str) -> bool:
+        self._ensure_loaded()
+        return key in self._records
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._records)
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        self._ensure_loaded()
+        return self._records.get(key)
+
+    def keys(self) -> Iterable[str]:
+        self._ensure_loaded()
+        return self._records.keys()
+
+    # ------------------------------------------------------------------ writing
+    def put(self, key: str, record: dict[str, Any]) -> None:
+        """Persist one record (append to the JSONL, update the in-memory view)."""
+        self._ensure_loaded()
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(
+            {"schema": CACHE_SCHEMA_VERSION, "key": key, "record": record},
+            sort_keys=True,
+        )
+        # A campaign killed mid-write leaves an unterminated fragment;
+        # start a fresh line so the new record stays parseable.
+        needs_newline = False
+        if self.path.exists() and self.path.stat().st_size > 0:
+            with self.path.open("rb") as probe:
+                probe.seek(-1, 2)
+                needs_newline = probe.read(1) != b"\n"
+        with self.path.open("a", encoding="utf-8") as handle:
+            if needs_newline:
+                handle.write("\n")
+            handle.write(line + "\n")
+        self._records[key] = record

@@ -155,6 +155,8 @@ class FermiSimulator:
                 cycle += 1
 
         self.stats.cycles = cycle
+        self.stats.extra["engine"] = "fermi"
+        self.stats.extra.setdefault("cores", 1)
         return FermiResult(
             cycles=cycle, stats=self.stats, memory=self.memory, hierarchy=self.hierarchy
         )

@@ -30,6 +30,7 @@ __all__ = [
     "GRAPH_VARIANTS",
     "RunResult",
     "run_workload",
+    "run_workload_record",
     "compare_architectures",
     "run_suite",
 ]
@@ -63,6 +64,29 @@ class RunResult:
             f"{self.workload:<12} {self.architecture:<6} "
             f"cycles={self.cycles:<8} energy={self.energy.total_uj:.2f} uJ"
         )
+
+    def to_record(self) -> dict[str, Any]:
+        """Plain-data form of this result (picklable and JSON-serialisable).
+
+        Drops the output arrays and the compiled kernel — everything a
+        sweep needs to cache, compare or re-render a run survives: the
+        counters (with their engine/core provenance), the energy
+        breakdown, and the parameters including the input seed.
+        """
+        return {
+            "workload": self.workload,
+            "architecture": self.architecture,
+            "cycles": int(self.cycles),
+            "counters": {k: _plain_scalar(v) for k, v in self.counters.items()},
+            "energy_pj": float(self.energy.total_pj),
+            "energy": {k: float(v) for k, v in self.energy.components.items()},
+            "params": {k: _plain_scalar(v) for k, v in self.params.items()},
+        }
+
+
+def _plain_scalar(value: Any) -> Any:
+    """Convert NumPy scalars to native Python so records serialise to JSON."""
+    return value.item() if isinstance(value, np.generic) else value
 
 
 def _resolve(workload: Workload | str) -> Workload:
@@ -141,8 +165,41 @@ def run_workload(
         energy=energy,
         outputs=outputs,
         compiled=compiled,
-        params=prepared.params,
+        # The seed is part of the run's identity (it generated the input
+        # data), so it travels with the parameters.
+        params={**prepared.params, "seed": prepared.seed},
     )
+
+
+def run_workload_record(
+    workload: str,
+    architecture: str,
+    params: Mapping[str, Any] | None = None,
+    seed: int = 0,
+    config: Mapping[str, Any] | SystemConfig | None = None,
+    engine: str = "auto",
+    check: bool = True,
+) -> dict[str, Any]:
+    """Pure, picklable form of :func:`run_workload` for worker processes.
+
+    Accepts only plain data (the configuration may be a ``to_dict``
+    mapping) and returns :meth:`RunResult.to_record` output, so it can be
+    shipped through a :class:`~concurrent.futures.ProcessPoolExecutor`
+    without dragging graphs, memory images or NumPy views across the
+    pickle boundary.
+    """
+    if config is not None and not isinstance(config, SystemConfig):
+        config = SystemConfig.from_dict(config)
+    result = run_workload(
+        workload,
+        architecture,
+        params=params,
+        seed=seed,
+        config=config,
+        engine=engine,
+        check=check,
+    )
+    return result.to_record()
 
 
 def compare_architectures(

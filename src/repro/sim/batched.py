@@ -328,6 +328,8 @@ class BatchedSimulator:
             )
         self._accumulate_counters()
         self.stats.cycles = cycles
+        self.stats.extra["engine"] = "batched"
+        self.stats.extra.setdefault("cores", 1)
         return CycleResult(
             cycles=cycles,
             stats=self.stats,

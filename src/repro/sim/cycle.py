@@ -293,6 +293,10 @@ class CycleSimulator:
             )
 
         self.stats.cycles = self._completion_cycle
+        # Provenance: cached counter rows must be able to tell which engine
+        # (and how many cores — overwritten by the multi-core merge) made them.
+        self.stats.extra["engine"] = "event"
+        self.stats.extra.setdefault("cores", 1)
         return CycleResult(
             cycles=self._completion_cycle,
             stats=self.stats,

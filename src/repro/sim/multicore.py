@@ -253,6 +253,9 @@ def run_multicore(
                 slot[tid] = values[tid]
     if stats is None:
         raise SimulationError("launch has no threads to shard")
+    # The per-core "cores" entries summed to the active core count during the
+    # merge; overwrite explicitly so provenance never depends on merge order.
+    stats.extra["cores"] = len(core_results)
     stats.extra["sharded_cores"] = len(core_results)
     stats.extra["shard_block"] = plan.block
     stats.extra["shard_window_lcm"] = plan.window_lcm

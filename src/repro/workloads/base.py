@@ -44,6 +44,9 @@ class PreparedWorkload:
     params: dict[str, Any]
     inputs: dict[str, np.ndarray]
     expected: dict[str, np.ndarray]
+    #: RNG seed that generated ``inputs``; part of the run's identity, so
+    #: result caches keyed on parameters capture the input data too.
+    seed: int = 0
 
     def launch(self, architecture: str) -> KernelLaunch:
         """Build the dataflow launch for ``mt``, ``dmt``, ``dmt_win`` or ``stream``."""
@@ -209,7 +212,7 @@ class Workload(abc.ABC):
         inputs = self.make_inputs(full, rng)
         expected = self.reference(full, inputs)
         return PreparedWorkload(
-            workload=self, params=full, inputs=inputs, expected=expected
+            workload=self, params=full, inputs=inputs, expected=expected, seed=seed
         )
 
     def output_names(self, params: Mapping[str, Any] | None = None) -> tuple[str, ...]:

@@ -1,0 +1,65 @@
+"""Result cache: content addressing, persistence, corrupt-line tolerance."""
+
+import json
+
+from repro.explore.cache import ResultCache
+from repro.explore.spec import CACHE_SCHEMA_VERSION
+
+
+def _record(cycles: int) -> dict:
+    return {"status": "ok", "result": {"cycles": cycles}, "point": {}}
+
+
+def test_put_then_get_survives_reload(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put("k1", _record(10))
+    cache.put("k2", _record(20))
+    fresh = ResultCache(tmp_path / "cache").load()
+    assert len(fresh) == 2
+    assert fresh.get("k1")["result"]["cycles"] == 10
+    assert "k2" in fresh and "k3" not in fresh
+
+
+def test_truncated_final_line_is_skipped(tmp_path):
+    """A killed campaign leaves a partial last line; resume must shrug it off."""
+    cache = ResultCache(tmp_path)
+    cache.put("complete", _record(1))
+    with cache.path.open("a", encoding="utf-8") as handle:
+        handle.write('{"schema": %d, "key": "partial", "rec' % CACHE_SCHEMA_VERSION)
+    reloaded = ResultCache(tmp_path).load()
+    assert "complete" in reloaded
+    assert "partial" not in reloaded
+    # Appending after the fragment starts a fresh line: nothing is lost.
+    reloaded.put("after", _record(2))
+    final = ResultCache(tmp_path).load()
+    assert "complete" in final and "after" in final
+    assert "partial" not in final
+
+
+def test_schema_mismatch_and_garbage_lines_ignored(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.root.mkdir(parents=True, exist_ok=True)
+    with cache.path.open("w", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+        handle.write(json.dumps({"schema": 999, "key": "old", "record": {}}) + "\n")
+        handle.write(json.dumps({"key": "incomplete"}) + "\n")
+        handle.write(
+            json.dumps({"schema": CACHE_SCHEMA_VERSION, "key": "good", "record": _record(5)})
+            + "\n"
+        )
+    loaded = ResultCache(tmp_path).load()
+    assert list(loaded.keys()) == ["good"]
+
+
+def test_last_writer_wins_on_duplicate_keys(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k", _record(1))
+    cache.put("k", _record(2))
+    assert ResultCache(tmp_path).load().get("k")["result"]["cycles"] == 2
+    assert len(ResultCache(tmp_path).load()) == 1
+
+
+def test_missing_cache_dir_is_empty_not_an_error(tmp_path):
+    cache = ResultCache(tmp_path / "never-created").load()
+    assert len(cache) == 0
+    assert cache.get("anything") is None

@@ -39,9 +39,12 @@ def test_batched_matches_event_bitwise():
     event_counters = event.stats.as_dict()
     batched_counters = batched.stats.as_dict()
     for counter in event_counters:
-        if counter == "cycles":
+        if counter in ("cycles", "engine"):  # provenance differs by design
             continue
         assert event_counters[counter] == batched_counters[counter], counter
+    assert event_counters["engine"] == "event"
+    assert batched_counters["engine"] == "batched"
+    assert event_counters["cores"] == batched_counters["cores"] == 1
 
 
 def test_graph_interthread_detection(scan_launch):

@@ -1,7 +1,15 @@
 """Tests for the Table 2 system configuration."""
 
+import json
+import subprocess
+import sys
+
 import pytest
 
+from repro.config.system import (
+    canonical_config_json,
+    config_digest,
+)
 from repro.config.system import (
     CacheConfig,
     CgraGridConfig,
@@ -48,6 +56,50 @@ def test_describe_mentions_the_headline_numbers():
 def test_to_dict_round_trips_the_grid():
     data = default_system_config().to_dict()
     assert data["grid"]["rows"] * data["grid"]["cols"] >= data["grid"]["num_alu"]
+
+
+def test_from_dict_round_trips_through_json():
+    config = SystemConfig(cores=4, token_buffer=TokenBufferConfig(entries=8))
+    via_json = json.loads(json.dumps(config.to_dict()))
+    rebuilt = SystemConfig.from_dict(via_json)
+    assert rebuilt == config
+    assert isinstance(rebuilt.grid, CgraGridConfig)
+    assert isinstance(rebuilt.memory.l1, CacheConfig)
+    assert rebuilt.token_buffer.entries == 8
+    assert rebuilt.cores == 4
+
+
+def test_from_dict_rejects_unknown_keys_and_invalid_values():
+    data = default_system_config().to_dict()
+    data["warp_speed"] = 9
+    with pytest.raises(ConfigurationError):
+        SystemConfig.from_dict(data)
+    bad = default_system_config().to_dict()
+    bad["token_buffer"]["entries"] = 0
+    with pytest.raises(ConfigurationError):
+        SystemConfig.from_dict(bad)
+
+
+def test_config_digest_is_stable_across_processes():
+    config = default_system_config()
+    assert config_digest(config) == config_digest(config.to_dict()) == config.digest()
+    assert config_digest(SystemConfig(cores=2)) != config_digest(config)
+    # Key order must not matter: canonical JSON sorts keys.
+    shuffled = dict(reversed(list(config.to_dict().items())))
+    assert config_digest(shuffled) == config_digest(config)
+    script = (
+        "from repro.config.system import config_digest, default_system_config;"
+        "print(config_digest(default_system_config()))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True, check=True
+    )
+    assert out.stdout.strip() == config_digest(config)
+
+
+def test_canonical_config_json_has_no_whitespace():
+    text = canonical_config_json(default_system_config())
+    assert " " not in text and "\n" not in text
 
 
 def test_grid_must_fit_rectangle():

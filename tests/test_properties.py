@@ -145,7 +145,7 @@ def test_batched_engine_matches_event_engine_on_stream_workloads(index, seed):
     event_counters = event.stats.as_dict()
     batched_counters = batched.stats.as_dict()
     for counter, value in event_counters.items():
-        if counter == "cycles":
+        if counter in ("cycles", "engine"):  # provenance differs by design
             continue
         assert batched_counters[counter] == value, counter
 
