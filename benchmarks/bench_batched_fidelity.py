@@ -1,0 +1,235 @@
+"""Cross-engine fidelity of the batched engine's analytic memory model.
+
+Runs every inter-thread-free workload variant of the registry on both
+simulation engines and reports the per-counter relative error of the
+batched engine's analytic cache model against the event engine's exact
+one, across three memory regimes:
+
+* ``table2``   — the paper's default configuration (compulsory regime);
+* ``capacity`` — a capacity-constrained 2-way 1 KiB L1, the
+  cache-sensitivity regime the paper's evaluation cares about;
+* ``thrash``   — small size/associativity sweeps at sizes where the
+  load and store phases overlap in the event engine (the replay-order
+  approximation's worst case).
+
+Acceptance gates (also enforced by ``tests/sim/test_fidelity.py``):
+
+* L1/L2 miss counts are **exactly equal** on the order-stable rows
+  (``table2`` and ``capacity``);
+* cycle error is at most 10% on every row, thrashing sweeps included.
+
+Run ``pytest benchmarks/bench_batched_fidelity.py -s`` for the full
+table, or as a script (CI uses ``--quick`` in the fast lane)::
+
+    python benchmarks/bench_batched_fidelity.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.compiler.pipeline import compile_kernel
+from repro.config.system import SystemConfig, default_system_config
+from repro.sim.cycle import run_cycle_accurate
+from repro.workloads.registry import all_workloads
+
+#: Counters whose event/batched equality is the exact-fidelity contract.
+MISS_COUNTERS = (
+    "l1_read_misses",
+    "l1_write_misses",
+    "l2_read_misses",
+    "l2_write_misses",
+)
+
+#: Counters reported (relative error) but not gated exactly.
+REPORTED_COUNTERS = MISS_COUNTERS + (
+    "l1_read_hits",
+    "l1_write_hits",
+    "l1_writebacks",
+    "l2_read_hits",
+    "dram_reads",
+    "dram_writes",
+)
+
+MAX_CYCLE_ERROR = 0.10
+
+#: Small problem sizes per stream-capable workload; the event engine runs
+#: every row, so sizes stay modest.
+QUICK_PARAMS = {
+    "matrixMul": {"dim": 12},
+    "convolution": {"n": 192},
+    "reduce": {"n": 192, "window": 16},
+}
+FULL_PARAMS = {
+    "matrixMul": {"dim": 16},
+    "convolution": {"n": 256},
+    "reduce": {"n": 256, "window": 32},
+}
+#: Overlapped-phase sizes for the thrashing sweep (full run only).
+THRASH_PARAMS = {
+    "matrixMul": {"dim": 24},
+    "convolution": {"n": 768},
+    "reduce": {"n": 768, "window": 32},
+}
+
+
+def _with_l1(
+    config: SystemConfig, size_bytes: int, ways: int, line_bytes: int | None = None
+) -> SystemConfig:
+    l1 = replace(config.memory.l1, size_bytes=size_bytes, ways=ways)
+    if line_bytes is not None:
+        l1 = replace(l1, line_bytes=line_bytes)
+    return replace(config, memory=replace(config.memory, l1=l1)).validate()
+
+
+def memory_regimes(quick: bool) -> list[tuple[str, SystemConfig, bool]]:
+    """(label, config, order_stable) triples; order-stable rows gate misses
+    exactly, the rest gate the cycle error only."""
+    base = default_system_config()
+    regimes = [
+        ("table2", base, True),
+        ("capacity-1KiB-2w", _with_l1(base, 1024, 2), True),
+        # Mixed line sizes: several 32 B L1 lines share one 128 B L2 line,
+        # exercising the per-level line re-alignment.
+        ("capacity-32Bline", _with_l1(base, 1024, 2, line_bytes=32), True),
+    ]
+    if not quick:
+        regimes += [
+            ("thrash-512B-1w", _with_l1(base, 512, 1), False),
+            ("thrash-2KiB-4w", _with_l1(base, 2048, 4), False),
+        ]
+    return regimes
+
+
+def interthread_free_variants(params_by_workload) -> list[tuple[str, str, dict]]:
+    """Every (workload, variant, params) whose graph is inter-thread-free."""
+    from repro.errors import WorkloadError
+
+    cases = []
+    for workload in all_workloads():
+        if workload.name not in params_by_workload:
+            continue
+        params = workload.params_with_defaults(params_by_workload[workload.name])
+        prepared = workload.prepare(params)
+        for variant in ("mt", "dmt", "dmt_win", "stream"):
+            try:
+                graph = prepared.launch(variant).graph
+            except WorkloadError:
+                continue  # variant does not exist for this workload
+            if graph.has_interthread():
+                continue
+            cases.append((workload.name, variant, params))
+    return cases
+
+
+def run_pair(name: str, variant: str, params: dict, config: SystemConfig) -> dict:
+    """One workload variant on both engines; returns the comparison row."""
+    workload = next(w for w in all_workloads() if w.name == name)
+    prepared = workload.prepare(params)
+    compiled = compile_kernel(prepared.launch(variant).graph, config)
+    event = run_cycle_accurate(compiled, prepared.launch(variant), engine="event")
+    batched = run_cycle_accurate(compiled, prepared.launch(variant), engine="batched")
+    event_counters = event.counters()
+    batched_counters = batched.counters()
+
+    def rel_error(key: str) -> float:
+        reference = event_counters.get(key, 0)
+        observed = batched_counters.get(key, 0)
+        return abs(observed - reference) / max(1, abs(reference))
+
+    return {
+        "workload": name,
+        "variant": variant,
+        "event_cycles": event.cycles,
+        "batched_cycles": batched.cycles,
+        "cycle_error": abs(batched.cycles - event.cycles) / max(1, event.cycles),
+        "errors": {key: rel_error(key) for key in REPORTED_COUNTERS},
+        "miss_exact": all(
+            event_counters.get(key, 0) == batched_counters.get(key, 0)
+            for key in MISS_COUNTERS
+        ),
+        "event": {key: event_counters.get(key, 0) for key in REPORTED_COUNTERS},
+        "batched": {key: batched_counters.get(key, 0) for key in REPORTED_COUNTERS},
+    }
+
+
+def collect_rows(quick: bool) -> list[tuple[str, bool, dict]]:
+    rows = []
+    for regime, config, order_stable in memory_regimes(quick):
+        params_map = QUICK_PARAMS if quick else FULL_PARAMS
+        if regime.startswith("thrash"):
+            params_map = THRASH_PARAMS
+        for name, variant, params in interthread_free_variants(params_map):
+            rows.append((regime, order_stable, run_pair(name, variant, params, config)))
+    return rows
+
+
+def check_rows(rows) -> list[str]:
+    failures = []
+    for regime, order_stable, row in rows:
+        label = f"{row['workload']}/{row['variant']} @ {regime}"
+        if order_stable and not row["miss_exact"]:
+            detail = {
+                key: (row["event"][key], row["batched"][key])
+                for key in MISS_COUNTERS
+                if row["event"][key] != row["batched"][key]
+            }
+            failures.append(f"{label}: L1/L2 miss counts not exact: {detail}")
+        if row["cycle_error"] > MAX_CYCLE_ERROR:
+            failures.append(
+                f"{label}: cycle error {row['cycle_error']:.1%} "
+                f"(event {row['event_cycles']}, batched {row['batched_cycles']}, "
+                f"bar {MAX_CYCLE_ERROR:.0%})"
+            )
+    return failures
+
+
+def print_table(rows) -> None:
+    header = (
+        f"{'regime':<17} {'workload':<12} {'variant':<7} {'ev cyc':>7} {'ba cyc':>7} "
+        f"{'cyc err':>8} {'miss':>6} {'worst counter error':>24}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+    for regime, _, row in rows:
+        worst_key = max(row["errors"], key=row["errors"].get)
+        worst = row["errors"][worst_key]
+        print(
+            f"{regime:<17} {row['workload']:<12} {row['variant']:<7} "
+            f"{row['event_cycles']:>7} {row['batched_cycles']:>7} "
+            f"{row['cycle_error']:>7.2%} {'exact' if row['miss_exact'] else 'DRIFT':>6} "
+            f"{worst_key + ' ' + format(worst, '.1%'):>24}"
+        )
+
+
+def test_batched_fidelity_gates():
+    """pytest entry point: full table, both gates."""
+    rows = collect_rows(quick=False)
+    print_table(rows)
+    failures = check_rows(rows)
+    assert not failures, "\n".join(failures)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI fast-lane subset: order-stable regimes at small sizes",
+    )
+    args = parser.parse_args(argv)
+    rows = collect_rows(quick=args.quick)
+    print_table(rows)
+    failures = check_rows(rows)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        gates = "exact L1/L2 misses on order-stable rows, cycle error <= 10% everywhere"
+        print(f"\nall {len(rows)} rows pass ({gates})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -31,6 +31,11 @@ def _build_parser() -> argparse.ArgumentParser:
     add_common(run)
     run.add_argument("--jobs", type=int, default=1, help="worker processes (default: %(default)s)")
     run.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    run.add_argument(
+        "--rerun-errors",
+        action="store_true",
+        help="invalidate cached error records and re-simulate their points",
+    )
 
     status = sub.add_parser("status", help="show how much of a campaign is cached")
     add_common(status)
@@ -46,7 +51,13 @@ def main(argv: list[str] | None = None) -> int:
         spec = load_spec(args.spec)
         if args.command == "run":
             progress = None if args.quiet else print
-            result = run_campaign(spec, jobs=args.jobs, cache_dir=args.cache_dir, progress=progress)
+            result = run_campaign(
+                spec,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                progress=progress,
+                rerun_errors=args.rerun_errors,
+            )
             if args.quiet:
                 print(result.summary())
             return 1 if result.errors else 0

@@ -125,6 +125,7 @@ def run_campaign(
     cache_dir: str | Path = DEFAULT_CACHE_DIR,
     cache: ResultCache | None = None,
     progress: Callable[[str], None] | None = None,
+    rerun_errors: bool = False,
 ) -> CampaignResult:
     """Run every point of ``spec`` that is not already cached.
 
@@ -132,6 +133,11 @@ def run_campaign(
     ``jobs>1`` fans the missing points out over a process pool.  Records
     are appended to the cache the moment they complete, so killing the
     campaign loses at most the points currently in flight.
+
+    ``rerun_errors=True`` additionally invalidates cached *error* records:
+    their points are re-simulated (and the fresh record — ok or error —
+    replaces the cached one, the appended line winning on the next load).
+    Successful records are never invalidated.
     """
     if jobs < 1:
         raise ExplorationError("jobs must be >= 1")
@@ -147,10 +153,16 @@ def run_campaign(
     cache = cache if cache is not None else ResultCache(cache_dir)
     cache.load()
 
+    def cached_ok(key: str) -> bool:
+        record = cache.get(key)
+        if record is None:
+            return False
+        return not (rerun_errors and record.get("status") != "ok")
+
     # Deduplicate within the campaign: identical points share one record.
     pending: dict[str, RunPoint] = {}
     for point, key in zip(points, keys):
-        if key not in cache and key not in pending:
+        if not cached_ok(key) and key not in pending:
             pending[key] = point
     say(
         f"campaign '{spec.name}': {len(points)} points "

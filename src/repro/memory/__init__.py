@@ -8,15 +8,18 @@ from repro.memory.image import MemoryImage
 from repro.memory.request import AccessResult, AccessType, HitLevel, MemoryRequest
 from repro.memory.scratchpad import Scratchpad, ScratchpadStats
 from repro.memory.shared_dram import SharedDRAM, SharedDramPort
+from repro.memory.tagcore import CacheGeometry, LruTagStore, TagEntry
 
 __all__ = [
     "AccessResult",
     "AccessType",
+    "CacheGeometry",
     "CacheStats",
     "DramModel",
     "DramStats",
     "HierarchyStats",
     "HitLevel",
+    "LruTagStore",
     "MemoryHierarchy",
     "MemoryImage",
     "MemoryRequest",
@@ -25,6 +28,7 @@ __all__ = [
     "SetAssociativeCache",
     "SharedDRAM",
     "SharedDramPort",
+    "TagEntry",
     "Transaction",
     "coalesce",
     "coalescing_efficiency",

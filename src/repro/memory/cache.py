@@ -5,6 +5,12 @@ It answers "at which cycle does this access complete, and which level
 serviced it" while recording the statistics the power model needs
 (hits/misses/writebacks per level).
 
+The tag/set/victim bookkeeping itself lives in
+:mod:`repro.memory.tagcore` and is shared with the batched engine's
+analytic cache model, so both engines classify an identical line-address
+stream identically; this module adds the event-engine specifics on top —
+cycle-stamped bank contention, MSHR merge timing, and the write policies.
+
 Two policies from the paper are supported:
 
 * write-back + write-allocate (the CGRA cores, Table 2), and
@@ -19,8 +25,9 @@ from typing import Callable, Optional
 from repro.config.system import CacheConfig
 from repro.errors import MemoryModelError
 from repro.memory.request import AccessType
+from repro.memory.tagcore import LruTagStore
 
-__all__ = ["CacheStats", "CacheLine", "SetAssociativeCache"]
+__all__ = ["CacheStats", "SetAssociativeCache"]
 
 
 @dataclass
@@ -63,16 +70,6 @@ class CacheStats:
         }
 
 
-@dataclass
-class CacheLine:
-    """One tag-array entry."""
-
-    tag: int = -1
-    valid: bool = False
-    dirty: bool = False
-    last_use: int = 0
-
-
 class SetAssociativeCache:
     """An LRU set-associative cache level.
 
@@ -95,41 +92,17 @@ class SetAssociativeCache:
         self.config = config
         self.next_level_access = next_level_access
         self.stats = CacheStats()
-        self._sets: list[list[CacheLine]] = [
-            [CacheLine() for _ in range(config.ways)] for _ in range(config.num_sets)
-        ]
+        self.tags = LruTagStore.from_config(config)
         self._bank_free_at: list[int] = [0] * config.banks
         # Outstanding misses: line address -> cycle at which the fill completes.
         self._mshr: dict[int, int] = {}
-        self._access_counter = 0
 
     # ------------------------------------------------------------------ helpers
     def line_address(self, address: int) -> int:
-        return address - (address % self.config.line_bytes)
-
-    def _set_index(self, line_addr: int) -> int:
-        return (line_addr // self.config.line_bytes) % self.config.num_sets
-
-    def _tag(self, line_addr: int) -> int:
-        return line_addr // (self.config.line_bytes * self.config.num_sets)
+        return self.tags.geometry.line_address(address)
 
     def _bank_index(self, line_addr: int) -> int:
         return (line_addr // self.config.line_bytes) % self.config.banks
-
-    def _lookup(self, line_addr: int) -> Optional[CacheLine]:
-        cset = self._sets[self._set_index(line_addr)]
-        tag = self._tag(line_addr)
-        for line in cset:
-            if line.valid and line.tag == tag:
-                return line
-        return None
-
-    def _victim(self, line_addr: int) -> CacheLine:
-        cset = self._sets[self._set_index(line_addr)]
-        for line in cset:
-            if not line.valid:
-                return line
-        return min(cset, key=lambda line: line.last_use)
 
     def _bank_ready(self, line_addr: int, cycle: int) -> int:
         """Account for bank contention; return the cycle the bank accepts us."""
@@ -144,14 +117,12 @@ class SetAssociativeCache:
         """Perform one access; return the absolute completion cycle."""
         if cycle < 0:
             raise MemoryModelError("access cycle must be non-negative")
-        self._access_counter += 1
         line_addr = self.line_address(address)
         start = self._bank_ready(line_addr, cycle)
-        line = self._lookup(line_addr)
+        entry = self.tags.touch(line_addr)
         is_write = access is AccessType.STORE
 
-        if line is not None:
-            line.last_use = self._access_counter
+        if entry is not None:
             # A "hit" on a line whose fill is still outstanding merges into the
             # MSHR entry and completes when the fill returns.
             outstanding = self._mshr.get(line_addr)
@@ -161,7 +132,7 @@ class SetAssociativeCache:
             if is_write:
                 self.stats.write_hits += 1
                 if self.config.write_back:
-                    line.dirty = True
+                    entry.dirty = True
                     complete = start + self.config.hit_latency
                     return max(complete, outstanding) if pending_fill else complete
                 # write-through: forward the write below
@@ -195,6 +166,8 @@ class SetAssociativeCache:
             self.stats.mshr_merges += 1
             fill_complete = outstanding
         else:
+            # The fill is a *read* of the next level even for a store miss
+            # (read-for-ownership under write-allocate).
             fill_complete = start + self.config.hit_latency
             if self.next_level_access is not None:
                 fill_complete = max(
@@ -208,20 +181,11 @@ class SetAssociativeCache:
         return fill_complete
 
     def _fill(self, line_addr: int, dirty: bool, cycle: int) -> None:
-        victim = self._victim(line_addr)
-        if victim.valid and victim.dirty:
+        victim = self.tags.install(line_addr, dirty)
+        if victim is not None and victim.dirty:
             self.stats.writebacks += 1
             if self.next_level_access is not None:
-                victim_addr = self._reconstruct_address(victim)
-                self.next_level_access(victim_addr, True, cycle)
-        victim.tag = self._tag(line_addr)
-        victim.valid = True
-        victim.dirty = dirty
-        victim.last_use = self._access_counter
-
-    def _reconstruct_address(self, line: CacheLine) -> int:
-        # Any address within the victim line is fine for the timing model.
-        return line.tag * self.config.line_bytes * self.config.num_sets
+                self.next_level_access(victim.line_addr, True, cycle)
 
     def _prune_mshr(self, cycle: int) -> None:
         self._mshr = {addr: t for addr, t in self._mshr.items() if t > cycle}
@@ -229,19 +193,12 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------ queries
     def contains(self, address: int) -> bool:
         """True if the line holding ``address`` is currently resident."""
-        return self._lookup(self.line_address(address)) is not None
+        return self.tags.contains(address)
 
     def flush(self) -> int:
         """Invalidate every line; return the number of dirty lines written back."""
-        dirty = 0
-        for cset in self._sets:
-            for line in cset:
-                if line.valid and line.dirty:
-                    dirty += 1
-                    self.stats.writebacks += 1
-                line.valid = False
-                line.dirty = False
-                line.tag = -1
+        dirty = self.tags.flush()
+        self.stats.writebacks += dirty
         self._mshr.clear()
         return dirty
 

@@ -1,0 +1,158 @@
+"""Shared set-associative tag/set/victim core for both simulation engines.
+
+The event-driven engine (:class:`repro.memory.cache.SetAssociativeCache`)
+and the wave-batched engine's analytic cache model
+(:mod:`repro.sim.analytic_cache`) must classify the same line-address
+stream identically — the cross-engine fidelity contract is *exact* L1/L2
+miss-count equality on order-stable traces.  That only holds if both
+engines share one implementation of the address math and the LRU
+replacement decision, which is what this module provides:
+
+* :class:`CacheGeometry` — line/set/tag address arithmetic written with
+  plain arithmetic operators so the same methods work on Python ints
+  (event engine, one access at a time) and on NumPy arrays (batched
+  engine, one wave of accesses at a time);
+* :class:`LruTagStore` — the tag array of one cache level with LRU
+  replacement.  Entries carry the full line address (not just the tag),
+  so a victim's writeback goes to the victim's *actual* address — the
+  previous tag-only reconstruction dropped the set bits and aimed every
+  writeback at set 0.
+
+Timing, banks, MSHRs and statistics deliberately stay out of this module:
+the event engine keeps its cycle-stamped models in ``memory/cache.py``
+and the batched engine keeps its analytic ones in ``sim/analytic_cache.py``;
+both delegate the "which line, which set, hit or miss, which victim"
+questions here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.config.system import CacheConfig
+
+__all__ = ["CacheGeometry", "LruTagStore", "TagEntry"]
+
+
+class CacheGeometry:
+    """Address arithmetic of a set-associative level (scalar and vector).
+
+    Every method uses only ``//``, ``%`` and ``*``, so ``address`` may be
+    a Python int or a NumPy integer array; the result has the same type.
+    """
+
+    __slots__ = ("line_bytes", "num_sets", "ways")
+
+    def __init__(self, line_bytes: int, num_sets: int, ways: int) -> None:
+        self.line_bytes = int(line_bytes)
+        self.num_sets = int(num_sets)
+        self.ways = int(ways)
+
+    @classmethod
+    def from_config(cls, config: CacheConfig) -> "CacheGeometry":
+        return cls(config.line_bytes, config.num_sets, config.ways)
+
+    def line_address(self, address):
+        """First byte address of the line holding ``address``."""
+        return address - (address % self.line_bytes)
+
+    def line_index(self, address):
+        """Global line number (line address / line size)."""
+        return address // self.line_bytes
+
+    def set_index(self, line_addr):
+        """Which set a line address maps to."""
+        return (line_addr // self.line_bytes) % self.num_sets
+
+    def tag_of(self, line_addr):
+        """The tag stored for a line address."""
+        return line_addr // (self.line_bytes * self.num_sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheGeometry(line_bytes={self.line_bytes}, "
+            f"num_sets={self.num_sets}, ways={self.ways})"
+        )
+
+
+class TagEntry:
+    """One resident line: its full line address and its dirty bit."""
+
+    __slots__ = ("line_addr", "dirty")
+
+    def __init__(self, line_addr: int, dirty: bool) -> None:
+        self.line_addr = line_addr
+        self.dirty = dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TagEntry(line_addr={self.line_addr:#x}, dirty={self.dirty})"
+
+
+class LruTagStore:
+    """Tag array of one set-associative LRU cache level.
+
+    Each set is an MRU-ordered list of :class:`TagEntry` (least recently
+    used first), which makes the LRU victim choice the list head and a
+    "touch" a move-to-back — exactly the ordering the event engine's
+    access-counter bookkeeping produced, without the counter.
+    """
+
+    __slots__ = ("geometry", "_sets")
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._sets: list[list[TagEntry]] = [[] for _ in range(geometry.num_sets)]
+
+    @classmethod
+    def from_config(cls, config: CacheConfig) -> "LruTagStore":
+        return cls(CacheGeometry.from_config(config))
+
+    # ------------------------------------------------------------------ access
+    def probe(self, line_addr: int) -> Optional[TagEntry]:
+        """Return the resident entry for ``line_addr`` without touching LRU."""
+        for entry in self._sets[self.geometry.set_index(line_addr)]:
+            if entry.line_addr == line_addr:
+                return entry
+        return None
+
+    def touch(self, line_addr: int) -> Optional[TagEntry]:
+        """Mark ``line_addr`` most recently used; return its entry (or None)."""
+        cset = self._sets[self.geometry.set_index(line_addr)]
+        for position, entry in enumerate(cset):
+            if entry.line_addr == line_addr:
+                if position != len(cset) - 1:
+                    del cset[position]
+                    cset.append(entry)
+                return entry
+        return None
+
+    def install(self, line_addr: int, dirty: bool) -> Optional[TagEntry]:
+        """Fill ``line_addr`` as MRU; return the evicted entry if the set
+        was full (the caller decides what a dirty eviction costs)."""
+        cset = self._sets[self.geometry.set_index(line_addr)]
+        victim = None
+        if len(cset) >= self.geometry.ways:
+            victim = cset.pop(0)
+        cset.append(TagEntry(line_addr, dirty))
+        return victim
+
+    # ----------------------------------------------------------------- queries
+    def contains(self, address: int) -> bool:
+        return self.probe(self.geometry.line_address(address)) is not None
+
+    def entries(self) -> Iterator[TagEntry]:
+        for cset in self._sets:
+            yield from cset
+
+    def resident_lines(self) -> int:
+        return sum(len(cset) for cset in self._sets)
+
+    def flush(self) -> int:
+        """Drop every line; return how many were dirty."""
+        dirty = sum(1 for entry in self.entries() if entry.dirty)
+        for cset in self._sets:
+            cset.clear()
+        return dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LruTagStore({self.geometry!r}, resident={self.resident_lines()})"

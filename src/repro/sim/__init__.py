@@ -12,10 +12,14 @@ Three execution layers share one semantics:
   without inter-thread dependences: each static node is evaluated once
   per injection wave over a vector of thread IDs, with completion times
   computed analytically from edge latencies and issue-port contention,
-  and memory modelled by a compulsory-miss line model (mirrored into
-  the hierarchy counters as an estimate).  Two orders of magnitude
-  faster than the event engine at 4k+ threads, with bit-identical
-  outputs and identical operation counters.
+  and memory classified by the capacity/conflict-aware analytic cache
+  model of :mod:`repro.sim.analytic_cache` (set-associative LRU at both
+  levels on the shared :mod:`repro.memory.tagcore` core, replayed in
+  the event engine's access order and mirrored into the hierarchy
+  counters — exactly equal to the event engine's counters on
+  order-stable traces).  An order of magnitude faster than the event
+  engine at 4k+ threads, with bit-identical outputs and identical
+  operation counters.
 
 :func:`repro.sim.cycle.run_cycle_accurate` is the single entry point:
 ``engine="auto"`` (the default) routes inter-thread-free graphs to the
@@ -30,6 +34,7 @@ stats are combined with :meth:`ExecutionStats.merge`.  Use
 cores with automatic single-core fallback for communicating kernels.
 """
 
+from repro.sim.analytic_cache import AnalyticMemoryModel
 from repro.sim.batched import BatchedSimulator, run_batched
 from repro.sim.cycle import (
     ENGINES,
@@ -49,6 +54,7 @@ from repro.sim.multicore import (
 from repro.sim.stats import ExecutionStats
 
 __all__ = [
+    "AnalyticMemoryModel",
     "BatchedSimulator",
     "CycleResult",
     "CycleSimulator",

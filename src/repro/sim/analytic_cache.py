@@ -1,0 +1,243 @@
+"""Capacity/conflict-aware analytic cache model for the batched engine.
+
+The wave-batched engine evaluates each static node once per wave over a
+NumPy vector of threads, so it cannot call the event engine's
+cycle-stamped :class:`~repro.memory.cache.SetAssociativeCache` one token
+at a time without giving up its speedup.  This module provides the
+analytic twin: the same L1 -> L2 -> DRAM classification — built on the
+shared :mod:`repro.memory.tagcore` tag/set/victim core, so both engines
+agree on every hit/miss decision for an identical line-address stream —
+replayed over a whole wave of accesses at once.
+
+What is modelled (mirroring ``MemoryHierarchy`` exactly):
+
+* set-associative LRU at both levels: compulsory, capacity *and*
+  conflict misses;
+* write-back + write-allocate (and the write-through / no-allocate
+  policy of the Fermi L1, should a sweep configure it): a store miss is
+  an L1 ``write_miss`` whose fill is a *read* of L2 (read-for-ownership),
+  never an L2 write — exactly the counter mapping the event engine's
+  hierarchy records for stores;
+* dirty evictions: an L1 writeback is an L2 store access at the victim's
+  line address, an L2 dirty eviction is a DRAM write;
+* MSHR merges: an access to a line whose fill is still outstanding
+  completes when the fill returns instead of issuing a duplicate
+  next-level access (timestamps come from the batched engine's analytic
+  issue cycles);
+* cache bank serialisation: each bank accepts one access per cycle, so
+  an oversubscribed bank builds the same queue the event engine's
+  cycle-stamped bank model builds (the replay order matches its
+  processing order);
+* DRAM bank/channel queueing with the same line-interleaved mapping as
+  :class:`~repro.memory.dram.DramModel`, plus the multi-core contention
+  term (``(cores - 1) * bank_busy_cycles`` expected queueing per access
+  when several cores share the device).
+
+Not modelled: the MSHR entry limit — it affects timing only, never the
+hit/miss classification — and the event engine's interleaving of
+overlapped load/store phases; the fidelity benchmark measures the
+residual cycle error both cause.
+
+Counters are mirrored into the owning :class:`~repro.memory.hierarchy.
+MemoryHierarchy`'s per-level stats objects, so ``CycleResult.counters()``
+and the energy pipeline see the analytic classification exactly where
+the event engine's exact one would appear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.system import MemorySystemConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.tagcore import LruTagStore
+
+__all__ = ["AnalyticMemoryModel"]
+
+
+class _AnalyticLevel:
+    """One cache level: shared tag core + policy flags + counter sink."""
+
+    __slots__ = (
+        "tags",
+        "stats",
+        "hit_latency",
+        "write_back",
+        "write_allocate",
+        "mshr",
+        "mshr_entries",
+        "banks",
+        "line_bytes",
+        "bank_free",
+    )
+
+    def __init__(self, config, stats) -> None:
+        self.tags = LruTagStore.from_config(config)
+        self.stats = stats
+        self.hit_latency = float(config.hit_latency)
+        self.write_back = bool(config.write_back)
+        self.write_allocate = bool(config.write_allocate)
+        # line address -> absolute cycle at which the outstanding fill lands.
+        self.mshr: dict[int, float] = {}
+        self.mshr_entries = int(config.mshr_entries)
+        # Each bank accepts one access per cycle; with the replay ordered
+        # like the event engine's processing, the queue build-up on
+        # oversubscribed banks evolves the same way there and here.
+        self.banks = int(config.banks)
+        self.line_bytes = int(config.line_bytes)
+        self.bank_free: list[float] = [0.0] * self.banks
+
+    def prune_mshr(self, cycle: float) -> None:
+        """Drop landed fills (same size trigger as the event engine's MSHR)."""
+        self.mshr = {addr: t for addr, t in self.mshr.items() if t > cycle}
+
+    def bank_ready(self, line_addr: int, cycle: float) -> float:
+        bank = (line_addr // self.line_bytes) % self.banks
+        start = self.bank_free[bank]
+        if start < cycle:
+            start = cycle
+        else:
+            self.stats.bank_conflict_cycles += int(start - cycle)
+        self.bank_free[bank] = start + 1.0
+        return start
+
+
+class AnalyticMemoryModel:
+    """Two-level LRU hierarchy + DRAM replayed over batches of accesses."""
+
+    def __init__(
+        self,
+        config: MemorySystemConfig,
+        hierarchy: MemoryHierarchy,
+        dram_contention: int = 1,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.l1 = _AnalyticLevel(config.l1, hierarchy.l1.stats)
+        self.l2 = _AnalyticLevel(config.l2, hierarchy.l2.stats)
+        self.dram_stats = hierarchy.dram.stats
+        dram = config.dram
+        self.dram_latency = float(dram.access_latency)
+        self.bank_busy = float(dram.bank_busy_cycles)
+        self.dram_channels = dram.channels
+        self.dram_banks = dram.banks_per_channel
+        self.dram_line_bytes = config.l2.line_bytes
+        # With ``dram_contention`` cores sharing the device, each access
+        # additionally expects to queue behind one bank burst per
+        # contending core (the analytic twin of the shared bank state the
+        # event engine models exactly).
+        self.contention_queue = (max(1, int(dram_contention)) - 1) * float(dram.bank_busy_cycles)
+        self._bank_free: dict[int, float] = {}
+
+    # ------------------------------------------------------------------- DRAM
+    def _dram_access(self, line_addr: int, is_write: bool, cycle: float) -> float:
+        line = line_addr // self.dram_line_bytes
+        channel = line % self.dram_channels
+        bank = (line // self.dram_channels) % self.dram_banks
+        slot = channel * self.dram_banks + bank
+        start = max(cycle, self._bank_free.get(slot, 0.0))
+        queued = (start - cycle) + self.contention_queue
+        start += self.contention_queue
+        self.dram_stats.queue_cycles += int(queued)
+        self._bank_free[slot] = start + self.bank_busy
+        if is_write:
+            self.dram_stats.writes += 1
+        else:
+            self.dram_stats.reads += 1
+        return start + self.dram_latency
+
+    # ------------------------------------------------------------ cache levels
+    def _level_access(self, level, next_access, line_addr, is_write, cycle):
+        """One access to ``level``; misses and writebacks go to ``next_access``.
+
+        The single copy of the policy walk (hit/merge/miss/fill/victim)
+        shared by both levels — the same structure as
+        :meth:`repro.memory.cache.SetAssociativeCache.access`, with the
+        next level injected as a ``(line_addr, is_write, cycle)`` callable.
+        """
+        # Re-align to this level's own line size (an L1 miss arrives
+        # L1-aligned; with l1.line_bytes < l2.line_bytes several L1 lines
+        # share one L2 line) — the event engine's cache does the same.
+        line_addr = level.tags.geometry.line_address(line_addr)
+        cycle = level.bank_ready(line_addr, cycle)
+        entry = level.tags.touch(line_addr)
+        if entry is not None:
+            outstanding = level.mshr.get(line_addr)
+            pending = outstanding is not None and outstanding > cycle
+            if pending:
+                level.stats.mshr_merges += 1
+            if is_write:
+                level.stats.write_hits += 1
+                if level.write_back:
+                    entry.dirty = True
+                    complete = cycle + level.hit_latency
+                    return max(complete, outstanding) if pending else complete
+                # write-through: forward the write to the next level
+                return max(
+                    cycle + level.hit_latency,
+                    next_access(line_addr, True, cycle),
+                )
+            level.stats.read_hits += 1
+            complete = cycle + level.hit_latency
+            return max(complete, outstanding) if pending else complete
+
+        if is_write:
+            level.stats.write_misses += 1
+            if not level.write_allocate:
+                return max(
+                    cycle + level.hit_latency,
+                    next_access(line_addr, True, cycle),
+                )
+        else:
+            level.stats.read_misses += 1
+
+        outstanding = level.mshr.get(line_addr)
+        if outstanding is not None and outstanding > cycle:
+            level.stats.mshr_merges += 1
+            fill = outstanding
+        else:
+            # Read-for-ownership: the fill *reads* the next level even for
+            # a store miss under write-allocate.
+            fill = max(
+                cycle + level.hit_latency,
+                next_access(line_addr, False, cycle),
+            )
+            level.mshr[line_addr] = fill
+            if len(level.mshr) > 4 * level.mshr_entries:
+                level.prune_mshr(cycle)
+        victim = level.tags.install(line_addr, is_write and level.write_allocate)
+        if victim is not None and victim.dirty:
+            level.stats.writebacks += 1
+            next_access(victim.line_addr, True, cycle)
+        return fill
+
+    def _l2_access(self, line_addr: int, is_write: bool, cycle: float) -> float:
+        return self._level_access(self.l2, self._dram_access, line_addr, is_write, cycle)
+
+    def _l1_access(self, line_addr: int, is_write: bool, cycle: float) -> float:
+        return self._level_access(self.l1, self._l2_access, line_addr, is_write, cycle)
+
+    # ------------------------------------------------------------------ batch
+    def access_batch(
+        self,
+        addresses: np.ndarray,
+        cycles: np.ndarray,
+        is_store: bool,
+    ) -> np.ndarray:
+        """Classify one replay-ordered batch of scalar accesses.
+
+        ``addresses`` and ``cycles`` must already be in replay order (the
+        caller sorts them into the event engine's processing order where
+        that order is derivable); the returned absolute completion cycles
+        are aligned with the inputs.  The line/set/tag arithmetic is
+        vectorised over the whole batch; the LRU state walk itself is
+        inherently sequential and runs over the precomputed line vector.
+        """
+        geometry = self.l1.tags.geometry
+        lines = geometry.line_address(addresses).tolist()
+        times = cycles.tolist()
+        out = np.empty(len(lines), dtype=np.float64)
+        l1_access = self._l1_access
+        for i, (line, cycle) in enumerate(zip(lines, times)):
+            out[i] = l1_access(line, is_store, cycle)
+        return out

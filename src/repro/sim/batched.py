@@ -24,18 +24,47 @@ Per-thread completion times are computed analytically:
   queue: the node's ``replicas`` issue ports each retire one operation
   per cycle, and firings are serviced in ready order.  The recurrence
   ``t_k = max(r_k, t_{k-ports} + 1)`` is evaluated in closed form with a
-  running maximum, so the whole queue is vectorised;
-* memory timing uses a vectorised compulsory-miss line model (first
-  touch of a cache line pays the full L1+L2+DRAM latency, later touches
-  the L1 hit latency).  The classification is mirrored into the
-  hierarchy's counters so the energy pipeline sees a consistent
-  estimate, but it approximates the event engine's exact cache model
-  (no capacity/conflict misses, MSHRs or bank conflicts).
+  running maximum, so the whole queue is vectorised.
+
+Memory model (:mod:`repro.sim.analytic_cache`)
+----------------------------------------------
+Global accesses run through a full set-associative LRU tag model of both
+cache levels — compulsory, capacity *and* conflict misses, dirty
+writebacks, MSHR merges and DRAM bank queueing — built on the same
+:mod:`repro.memory.tagcore` tag/set/victim core the event engine's
+caches use.  Because LRU classification depends on the order in which
+the line-address stream reaches the cache, each wave's loads are
+replayed in the *event engine's* processing order: the order a token
+arrival fires a load is a thread-independent property of the graph (the
+arrival-cycle chain through its pure index computation, tie-broken by
+the heap's push sequence), so the engine precomputes one order key per
+load node and sorts the whole wave's load stream with ``np.lexsort``
+before running it through the tag model.  Stores are replayed after the
+loads of their wave, in issue order — exact whenever the store phase
+drains after the load phase (it does on the streaming workloads at the
+fidelity-gate sizes) and a close approximation when the phases overlap.
+Store misses follow write-allocate read-for-ownership: an L1
+``write_miss`` whose fill *reads* L2, exactly the counter mapping the
+event engine's hierarchy records.  Graphs whose load indices depend on
+other loads fall back to per-node replay order (classification stays
+capacity/conflict-aware; only the cross-engine ordering guarantee is
+lost).
+
+The classification is mirrored into the hierarchy's counters, so the
+energy pipeline and ``CycleResult.counters()`` see the analytic model
+exactly where the event engine's exact counters would appear.  Residual
+approximations (cache bank serialisation, MSHR entry limits, replay
+order under overlapped load/store phases) affect timing only and are
+measured by ``benchmarks/bench_batched_fidelity.py``: L1/L2 miss counts
+are exactly equal to the event engine's on the streaming workloads even
+under a thrashing 2-way 1 KiB L1, and cycle error stays within the
+fidelity gate's 10% bar on the capacity/associativity sweeps.
 
 Outputs and memory contents are bit-identical to the event engine and
 all operation counters (``alu_ops``, ``fpu_ops``, ``global_loads``,
 ``global_stores``, token/NoC counters, ...) are equal by construction;
-only the cycle estimate is analytic rather than event-exact.
+the cycle count and memory-hierarchy counters are analytic — exact on
+order-stable traces, estimates otherwise.
 """
 
 from __future__ import annotations
@@ -55,6 +84,7 @@ from repro.graph.semantics import PURE_OPCODES, coerce
 from repro.kernel.geometry import ThreadGeometry
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.image import MemoryImage
+from repro.sim.analytic_cache import AnalyticMemoryModel
 from repro.sim.cycle import CycleResult, edge_timing, unit_latency
 from repro.sim.launch import KernelLaunch
 from repro.sim.stats import ExecutionStats
@@ -289,25 +319,111 @@ class BatchedSimulator:
         self._port_tail: dict[int, np.ndarray] = {
             node.node_id: np.full(self._ports, -np.inf) for node in self._order
         }
-        # Cache lines touched so far (compulsory-miss memory model).
-        self._touched_lines: set[int] = set()
-        mem = self.config.memory
-        self._line_bytes = mem.l1.line_bytes
-        self._hit_latency = mem.l1.hit_latency
-        # A line miss pays the full L1+L2+DRAM latency; when ``dram_contention``
-        # cores share the DRAM device, each miss additionally expects to queue
-        # behind one bank burst per contending core (the analytic twin of the
-        # shared bank state the event engine models exactly).
+        # Capacity/conflict-aware analytic cache model (L1 + L2 + DRAM),
+        # mirroring its classification into the hierarchy's counters.  When
+        # ``dram_contention`` cores share the DRAM device, each access
+        # additionally expects to queue behind one bank burst per contending
+        # core (the analytic twin of the shared bank state the event engine
+        # models exactly).
         if dram_contention < 1:
             raise SimulationError("dram_contention must be >= 1")
-        self._dram_queue_latency = (int(dram_contention) - 1) * mem.dram.bank_busy_cycles
-        self._miss_latency = (
-            mem.l1.hit_latency
-            + mem.l2.hit_latency
-            + mem.dram.access_latency
-            + self._dram_queue_latency
+        self._analytic = AnalyticMemoryModel(
+            self.config.memory, self.hierarchy, dram_contention=dram_contention
         )
+        self._l1_baseline = (
+            self.hierarchy.l1.stats.misses,
+            self.hierarchy.l1.stats.hits,
+        )
+        self._order_pos = {node.node_id: i for i, node in enumerate(self._order)}
+        self._load_nodes = [n for n in self._order if n.opcode is Opcode.LOAD]
+        self._prepass_nodes = self._pure_load_ancestors()
+        self._ordered_loads = self._prepass_nodes is not None
+        self._load_keys = self._event_order_keys() if self._ordered_loads else {}
         self._completion = 0.0
+
+    # ------------------------------------------------------- event-order keys
+    def _pure_load_ancestors(self) -> "set[int] | None":
+        """Nodes to pre-evaluate so every load's issue cycle is known early.
+
+        Returns the union of every LOAD node and its transitive ancestors
+        when those ancestors are all pure/source nodes (their timing is
+        thread-uniform, so load replay order is derivable before any
+        memory access is classified), or ``None`` when some load index
+        depends on another memory access — the engine then falls back to
+        per-node replay order.
+        """
+        prepass: set[int] = {load.node_id for load in self._load_nodes}
+        visited: set[int] = set()
+        for load in self._load_nodes:
+            stack = [src for _, src in self._inputs[load.node_id]]
+            while stack:
+                nid = stack.pop()
+                if nid in visited:
+                    continue
+                node = self.graph.node(nid)
+                if node.opcode not in PURE_OPCODES and node.opcode not in _SOURCE_OPCODES:
+                    return None  # a load index depends on a memory access
+                visited.add(nid)
+                stack.extend(src for _, src in self._inputs[nid])
+        return prepass | visited
+
+    def _event_order_keys(self) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Per-load-node key vectors reproducing the event engine's order.
+
+        The event engine classifies a load at the heap-processing moment
+        of its index token's arrival.  For a pure index chain that moment
+        is ``d + inject(t)`` with a thread-independent ``d``, and
+        same-cycle arrivals process in push-sequence order — recursively,
+        the chain of the deciding producer's own fire moments, tie-broken
+        by its push index within that fire, bottoming out at the
+        injection event (which pops *after* same-cycle token events).
+
+        Each node therefore gets a component vector: fire moments encoded
+        as ``2*cycle + kind`` (token fire = 0, injection = 1) that shift
+        by ``2*inject(t)`` per thread, interleaved with shift-free
+        push-index components.  Sorting all of a wave's load accesses by
+        these vectors (then node position, then thread position)
+        reproduces the event engine's access order exactly.
+        """
+        arrival: dict[int, float] = {}
+        chains: dict[int, list[tuple[float, bool]]] = {}
+        keys: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for node in self._order:
+            nid = node.node_id
+            if node.opcode in _SOURCE_OPCODES:
+                arrival[nid] = 0.0
+                chains[nid] = [(1.0, True), (float(self._order_pos[nid]), False)]
+                continue
+            inputs = self._inputs[nid]
+            if not inputs or any(src not in chains for _, src in inputs):
+                continue  # downstream of a memory access: thread-varying
+            best: "tuple[float, list[tuple[float, bool]], int] | None" = None
+            arr = 0.0
+            for port, src in inputs:
+                src_node = self.graph.node(src)
+                moment = (
+                    arrival[src]
+                    + unit_latency(self.config, src_node)
+                    + self._edge_latency[(src, nid)]
+                )
+                arr = max(arr, moment)
+                push_index = next(
+                    i
+                    for i, (dst, dst_port) in enumerate(self._successors[src])
+                    if dst == nid and dst_port == port
+                )
+                candidate = (moment, chains[src], push_index)
+                if best is None or candidate > best:
+                    best = candidate
+            chain = [(2.0 * arr, True)] + best[1] + [(float(best[2]), False)]
+            if node.opcode is Opcode.LOAD:
+                components = np.array([value for value, _ in chain])
+                moments = np.array([is_moment for _, is_moment in chain])
+                keys[nid] = (components, moments)
+            elif node.opcode in PURE_OPCODES:
+                arrival[nid] = arr
+                chains[nid] = chain
+        return keys
 
     # ------------------------------------------------------------------- run
     def run(self) -> CycleResult:
@@ -328,6 +444,12 @@ class BatchedSimulator:
             )
         self._accumulate_counters()
         self.stats.cycles = cycles
+        l1 = self.hierarchy.l1.stats
+        misses = l1.misses - self._l1_baseline[0]
+        hits = l1.hits - self._l1_baseline[1]
+        if misses:
+            self.stats.bump("batched_line_misses", misses)
+        self.stats.bump("batched_line_hits", hits)
         self.stats.extra["engine"] = "batched"
         self.stats.extra.setdefault("cores", 1)
         return CycleResult(
@@ -350,26 +472,119 @@ class BatchedSimulator:
         values: dict[int, np.ndarray] = {}
         avail: dict[int, np.ndarray] = {}
         uses = {nid: len(succ) for nid, succ in self._successors.items()}
+        evaluated: set[int] = set()
+        load_results: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        if self._ordered_loads and self._load_nodes:
+            self._classify_wave_loads(tids, inject, values, avail, evaluated, load_results)
 
         for node in self._order:
             nid = node.node_id
             if node.opcode in _SOURCE_OPCODES:
-                values[nid] = self._source_value(node, tids, n)
-                avail[nid] = inject
+                if nid not in evaluated:
+                    values[nid] = self._source_value(node, tids, n)
+                    avail[nid] = inject
             else:
                 inputs = self._inputs[nid]
-                operands = [values[src] for _, src in inputs]
-                ready = inject
-                for _, src in inputs:
-                    ready = np.maximum(ready, avail[src] + self._edge_latency[(src, nid)])
-                issue = self._issue(nid, ready)
-                values[nid], avail[nid] = self._execute(node, tids, operands, issue)
+                if nid in load_results:
+                    # Classified in the pre-pass; read the data here, at the
+                    # load's topological position (stores earlier in the
+                    # graph must land in the backing array first).
+                    idx, complete = load_results[nid]
+                    backing = self.memory.array(str(node.param("array")))
+                    values[nid] = _coerce_vec(backing[idx], node.dtype)
+                    avail[nid] = complete
+                elif nid not in evaluated:
+                    operands = [values[src] for _, src in inputs]
+                    ready = inject
+                    for _, src in inputs:
+                        ready = np.maximum(ready, avail[src] + self._edge_latency[(src, nid)])
+                    issue = self._issue(nid, ready)
+                    values[nid], avail[nid] = self._execute(node, tids, operands, issue)
                 for _, src in inputs:
                     uses[src] -= 1
                     if uses[src] == 0:
                         del values[src]
             if uses[nid] == 0:
                 values.pop(nid, None)
+
+    def _classify_wave_loads(
+        self,
+        tids: np.ndarray,
+        inject: np.ndarray,
+        values: dict[int, np.ndarray],
+        avail: dict[int, np.ndarray],
+        evaluated: set[int],
+        load_results: dict[int, tuple[np.ndarray, np.ndarray]],
+    ) -> None:
+        """Pre-pass: classify the wave's whole load stream in event order.
+
+        Evaluates the pure index sub-DAG (each node exactly once — the
+        main sweep reuses these values and never re-applies the issue
+        queues), gathers every load's issue cycles and line addresses,
+        sorts the combined stream with the precomputed event-order keys
+        and replays it through the analytic cache model.  Load *data* is
+        deliberately not read here; the main sweep reads it at the load's
+        topological position.
+        """
+        n = tids.size
+        pending: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        for node in self._order:
+            nid = node.node_id
+            if nid not in self._prepass_nodes:
+                continue
+            if node.opcode in _SOURCE_OPCODES:
+                values[nid] = self._source_value(node, tids, n)
+                avail[nid] = inject
+                evaluated.add(nid)
+                continue
+            inputs = self._inputs[nid]
+            operands = [values[src] for _, src in inputs]
+            ready = inject
+            for _, src in inputs:
+                ready = np.maximum(ready, avail[src] + self._edge_latency[(src, nid)])
+            issue = self._issue(nid, ready)
+            if node.opcode is Opcode.LOAD:
+                spec = self.memory.spec(str(node.param("array")))
+                idx = self._checked_indices(node, operands[0], spec.length)
+                addresses = spec.base_address + idx * spec.elem_bytes
+                pending.append((nid, issue, idx, addresses))
+            else:
+                values[nid], avail[nid] = self._execute(node, tids, operands, issue)
+            evaluated.add(nid)
+
+        if not pending:
+            return
+        # One row per access; sort columns are the order-key components
+        # (moment components shifted by 2 * inject per thread), then node
+        # position, then thread position within the wave.
+        depth = max(self._load_keys[nid][0].size for nid, _, _, _ in pending)
+        total = n * len(pending)
+        columns = [np.full(total, -1.0) for _ in range(depth)]
+        node_column = np.empty(total)
+        position_column = np.empty(total)
+        issue_all = np.empty(total)
+        address_all = np.empty(total, dtype=np.int64)
+        shift = 2.0 * inject
+        positions = np.arange(n, dtype=np.float64)
+        for block, (nid, issue, _, addresses) in enumerate(pending):
+            rows = slice(block * n, (block + 1) * n)
+            components, moments = self._load_keys[nid]
+            for j in range(components.size):
+                if moments[j]:
+                    columns[j][rows] = components[j] + shift
+                else:
+                    columns[j][rows] = components[j]
+            node_column[rows] = float(self._order_pos[nid])
+            position_column[rows] = positions
+            issue_all[rows] = issue
+            address_all[rows] = addresses
+        order = np.lexsort(tuple([position_column, node_column] + columns[::-1]))
+        completions = np.empty(total)
+        completions[order] = self._analytic.access_batch(
+            address_all[order], issue_all[order], is_store=False
+        )
+        for block, (nid, _, idx, _) in enumerate(pending):
+            load_results[nid] = (idx, completions[block * n : (block + 1) * n])
 
     def _source_value(self, node: Node, tids: np.ndarray, n: int) -> np.ndarray:
         op = node.opcode
@@ -466,12 +681,20 @@ class BatchedSimulator:
         issue: np.ndarray,
         store_value: np.ndarray | None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Stores (and loads in fallback mode): classify at the node's
+        topological position, replaying the node's accesses in issue order
+        (the order the event engine's heap services them when the phases
+        do not overlap)."""
         name = str(node.param("array"))
         spec = self.memory.spec(name)
         backing = self.memory.array(name)
         idx = self._checked_indices(node, index, spec.length)
         addresses = spec.base_address + idx * spec.elem_bytes
-        complete = issue + self._line_model_latency(addresses, is_store=store_value is not None)
+        order = np.lexsort((np.arange(idx.size), issue))
+        complete = np.empty(issue.shape)
+        complete[order] = self._analytic.access_batch(
+            addresses[order], issue[order], is_store=store_value is not None
+        )
         if store_value is None:
             return _coerce_vec(backing[idx], node.dtype), complete
         backing[idx] = store_value
@@ -496,42 +719,6 @@ class BatchedSimulator:
         scratch.writes += idx.size
         backing[idx] = store_value
         return store_value, complete
-
-    def _line_model_latency(self, addresses: np.ndarray, is_store: bool) -> np.ndarray:
-        """Compulsory-miss line model: first touch of a line pays the full
-        L1+L2+DRAM latency, every later access the L1 hit latency.
-
-        The classification is mirrored into the hierarchy's own counters
-        (L1 hit/miss, one L2 miss and one DRAM transfer per new line) so
-        the energy pipeline sees a consistent estimate; the event engine
-        remains the exact reference for memory-system behaviour.
-        """
-        lines = addresses // self._line_bytes
-        uniq, first_index = np.unique(lines, return_index=True)
-        miss = np.zeros(addresses.size, dtype=bool)
-        touched = self._touched_lines
-        for line, pos in zip(uniq.tolist(), first_index.tolist()):
-            if line not in touched:
-                miss[pos] = True
-                touched.add(line)
-        misses = int(miss.sum())
-        hits = addresses.size - misses
-        l1, l2, dram = self.hierarchy.l1.stats, self.hierarchy.l2.stats, self.hierarchy.dram.stats
-        if is_store:
-            l1.write_hits += hits
-            l1.write_misses += misses
-            l2.write_misses += misses
-            dram.writes += misses
-        else:
-            l1.read_hits += hits
-            l1.read_misses += misses
-            l2.read_misses += misses
-            dram.reads += misses
-        dram.queue_cycles += misses * self._dram_queue_latency
-        if misses:
-            self.stats.bump("batched_line_misses", misses)
-        self.stats.bump("batched_line_hits", hits)
-        return np.where(miss, float(self._miss_latency), float(self._hit_latency))
 
     # ------------------------------------------------------------- counters
     def _accumulate_counters(self) -> None:

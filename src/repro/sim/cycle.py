@@ -620,8 +620,8 @@ def build_simulator(
     so engine selection and construction live in one place.
     ``dram_contention`` is the number of cores sharing the DRAM device; the
     event engine models the contention exactly through the shared bank
-    state, while the batched engine folds it into its analytic miss
-    latency.
+    state, while the batched engine folds it into its analytic DRAM
+    queueing model.
     """
     resolved = resolve_engine(engine, compiled.graph)
     if resolved == "batched":
@@ -660,8 +660,10 @@ def run_cycle_accurate(
     inter-thread-free graphs, and ``"auto"`` (the default) picks the
     fastest engine that can execute the graph.  Both engines produce
     bit-identical outputs and identical operation counters; the batched
-    engine's cycle count and memory-hierarchy counters are analytic
-    estimates from its vectorised line model.  ``"auto"`` therefore
+    engine's cycle count and memory-hierarchy counters come from its
+    capacity/conflict-aware analytic cache model
+    (:mod:`repro.sim.analytic_cache`) — equal to the event engine's on
+    order-stable traces, close estimates otherwise.  ``"auto"`` still
     resolves to the event engine when a ``hierarchy`` is passed in
     explicitly — a caller handing over a hierarchy wants its exact,
     event-accurate counters.

@@ -90,6 +90,62 @@ def test_worker_error_is_captured_not_fatal(tmp_path):
     assert campaign_status(spec, cache_dir=tmp_path)["errors"] == 1
 
 
+def test_rerun_errors_invalidates_cached_error_records(tmp_path):
+    """``--rerun-errors`` re-simulates exactly the cached error points:
+    the failing point is executed again (a fresh record replaces the
+    cached one) while successful records stay cache hits."""
+    spec = CampaignSpec(
+        name="mixed",
+        workloads=("matrixMul", "scan"),
+        # scan has no streaming variant -> its point errors in the worker.
+        variants=("stream",),
+        params={"matrixMul": {"dim": 4}},
+    )
+    cold = run_campaign(spec, jobs=1, cache_dir=tmp_path)
+    assert len(cold.errors) == 1
+    # A plain re-run serves the error from the cache and simulates nothing.
+    warm = run_campaign(spec, jobs=1, cache_dir=tmp_path)
+    assert warm.hits == 2 and warm.misses == 0
+
+    rerun = run_campaign(spec, jobs=1, cache_dir=tmp_path, rerun_errors=True)
+    assert rerun.hits == 1 and rerun.misses == 1  # only the error point re-ran
+    by_workload = {o.point.workload: o for o in rerun.outcomes}
+    assert by_workload["matrixMul"].cached
+    assert not by_workload["scan"].cached  # re-simulated, not served from cache
+    assert not by_workload["scan"].ok  # still an error, now freshly produced
+
+    # The fresh record was appended: a later load still sees one record per
+    # key and the campaign remains fully cached without --rerun-errors.
+    cached_again = run_campaign(spec, jobs=1, cache_dir=tmp_path)
+    assert cached_again.hits == 2 and cached_again.misses == 0
+    assert campaign_status(spec, cache_dir=tmp_path)["errors"] == 1
+
+
+def test_rerun_errors_fixes_point_when_error_was_transient(tmp_path, monkeypatch):
+    """If the underlying cause is gone (here: the cached record was an
+    artifact), --rerun-errors replaces the error record with the fresh ok
+    result and later runs hit the cache."""
+    spec = _tiny_spec(grid=(("token_buffer.entries", (8,)),))
+    (point,) = spec.expand()
+    cache = ResultCache(tmp_path)
+    cache.put(
+        point.key(),
+        {
+            "point": {"workload": point.workload},
+            "status": "error",
+            "result": None,
+            "error": "RuntimeError: transient infrastructure failure",
+            "traceback": "",
+            "duration_s": 0.0,
+        },
+    )
+    assert campaign_status(spec, cache_dir=tmp_path)["errors"] == 1
+    result = run_campaign(spec, jobs=1, cache_dir=tmp_path, rerun_errors=True)
+    assert result.misses == 1 and not result.errors
+    assert campaign_status(spec, cache_dir=tmp_path)["errors"] == 0
+    assert run_campaign(spec, jobs=1, cache_dir=tmp_path).hits == 1
+
+
 def test_parallel_matches_serial_records(tmp_path):
     spec = _tiny_spec(
         workloads=("matrixMul", "convolution"),

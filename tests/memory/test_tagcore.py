@@ -1,0 +1,148 @@
+"""The shared tag core: geometry math and LRU equivalence properties.
+
+The cross-engine fidelity contract rests on one fact: replaying a line
+address stream through :class:`~repro.memory.tagcore.LruTagStore` (what
+the batched engine's analytic model does) classifies every access
+exactly like :class:`~repro.memory.cache.SetAssociativeCache` (what the
+event engine does).  The hypothesis sweep below checks that on random
+traces over random geometries and write policies; it is `slow`-marked
+like the other property sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system import CacheConfig
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.request import AccessType
+from repro.memory.tagcore import CacheGeometry, LruTagStore
+
+
+# ------------------------------------------------------------------ geometry
+def test_geometry_scalar_and_vector_agree():
+    geometry = CacheGeometry(line_bytes=128, num_sets=4, ways=2)
+    addresses = np.array([0, 1, 127, 128, 513, 4096, 65535], dtype=np.int64)
+    lines = geometry.line_address(addresses)
+    sets = geometry.set_index(lines)
+    tags = geometry.tag_of(lines)
+    for i, address in enumerate(addresses.tolist()):
+        line = geometry.line_address(address)
+        assert lines[i] == line
+        assert sets[i] == geometry.set_index(line)
+        assert tags[i] == geometry.tag_of(line)
+        assert line % 128 == 0
+        assert 0 <= sets[i] < 4
+
+
+def test_lru_victim_is_least_recently_used():
+    store = LruTagStore(CacheGeometry(line_bytes=64, num_sets=1, ways=2))
+    assert store.install(0, dirty=False) is None
+    assert store.install(64, dirty=True) is None
+    store.touch(0)  # line 0 becomes MRU; line 64 is now the LRU victim
+    victim = store.install(128, dirty=False)
+    assert victim is not None and victim.line_addr == 64 and victim.dirty
+
+
+def test_flush_counts_dirty_lines():
+    store = LruTagStore(CacheGeometry(line_bytes=64, num_sets=2, ways=2))
+    store.install(0, dirty=True)
+    store.install(64, dirty=False)
+    store.install(128, dirty=True)
+    assert store.resident_lines() == 3
+    assert store.flush() == 2
+    assert store.resident_lines() == 0
+
+
+# ------------------------------------------------------- LRU equivalence sweep
+def _reference_config(line_bytes, num_sets, ways, write_back, write_allocate):
+    return CacheConfig(
+        name="prop",
+        size_bytes=line_bytes * num_sets * ways,
+        line_bytes=line_bytes,
+        ways=ways,
+        banks=1,
+        hit_latency=1,
+        write_back=write_back,
+        write_allocate=write_allocate,
+    )
+
+
+def _tagstore_replay(config: CacheConfig, trace) -> list[bool]:
+    """The batched-engine classification: LruTagStore + the write policy."""
+    store = LruTagStore.from_config(config)
+    hits = []
+    for address, is_write in trace:
+        line_addr = store.geometry.line_address(address)
+        entry = store.touch(line_addr)
+        if entry is not None:
+            hits.append(True)
+            if is_write and config.write_back:
+                entry.dirty = True
+            continue
+        hits.append(False)
+        if is_write and not config.write_allocate:
+            continue  # write-no-allocate: the line is not filled
+        store.install(line_addr, dirty=is_write and config.write_allocate)
+    return hits
+
+
+def _cache_replay(config: CacheConfig, trace) -> list[bool]:
+    """The event-engine classification, observed through the stats deltas."""
+    cache = SetAssociativeCache(config)
+    hits = []
+    for cycle, (address, is_write) in enumerate(trace):
+        before = cache.stats.hits
+        cache.access(address, AccessType.STORE if is_write else AccessType.LOAD, cycle)
+        hits.append(cache.stats.hits != before)
+    return hits
+
+
+@pytest.mark.slow
+@settings(deadline=None, max_examples=60)
+@given(
+    st.sampled_from([16, 32, 64, 128]),
+    st.integers(1, 16),
+    st.integers(1, 8),
+    st.booleans(),
+    st.booleans(),
+    st.lists(
+        st.tuples(st.integers(0, 1 << 14), st.booleans()),
+        min_size=1,
+        max_size=200,
+    ),
+)
+def test_tagstore_matches_set_associative_cache(
+    line_bytes, num_sets, ways, write_back, write_allocate, trace
+):
+    """Identical hit/miss sequences on random traces, geometries and
+    write policies — the property the exact cross-engine miss-count
+    equality rests on."""
+    config = _reference_config(line_bytes, num_sets, ways, write_back, write_allocate)
+    assert _tagstore_replay(config, trace) == _cache_replay(config, trace)
+
+
+@pytest.mark.slow
+@settings(deadline=None, max_examples=20)
+@given(
+    st.sampled_from([32, 128]),
+    st.integers(1, 4),
+    st.integers(1, 4),
+    st.lists(st.integers(0, 1 << 12), min_size=1, max_size=100),
+)
+def test_tagstore_contains_matches_cache_residency(line_bytes, num_sets, ways, addresses):
+    """After any load-only trace, both models agree on which addresses
+    are resident (not just on the hit/miss sequence)."""
+    config = _reference_config(line_bytes, num_sets, ways, True, True)
+    cache = SetAssociativeCache(config)
+    store = LruTagStore.from_config(config)
+    for cycle, address in enumerate(addresses):
+        cache.access(address, AccessType.LOAD, cycle)
+        line_addr = store.geometry.line_address(address)
+        if store.touch(line_addr) is None:
+            store.install(line_addr, dirty=False)
+    for address in addresses:
+        assert cache.contains(address) == store.contains(address)

@@ -1,0 +1,106 @@
+"""Differential sweep: event vs batched engine over the whole registry.
+
+Every inter-thread-free workload variant of the registry runs on both
+engines at two thread counts; outputs must be bit-identical and every
+operation counter equal.  The small sizes run in the fast lane; the full
+sweep at the larger thread count is marked ``slow`` (tier-1 and the CI
+``tier1`` job include it, the per-version fast test job skips it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_kernel
+from repro.errors import WorkloadError
+from repro.sim.cycle import run_cycle_accurate
+from repro.workloads.registry import all_workloads
+
+#: Candidate dataflow variants probed per workload.
+VARIANTS = ("mt", "dmt", "dmt_win", "stream")
+
+#: Two problem sizes (= two thread counts) per stream-capable workload.
+SMALL_PARAMS = {
+    "matrixMul": {"dim": 6},
+    "convolution": {"n": 48},
+    "reduce": {"n": 64, "window": 8},
+}
+LARGE_PARAMS = {
+    "matrixMul": {"dim": 16},
+    "convolution": {"n": 512},
+    "reduce": {"n": 512, "window": 32},
+}
+
+
+def _interthread_free_cases(params_by_workload):
+    """Every (workload_name, variant, params) with an inter-thread-free graph."""
+    cases = []
+    for workload in all_workloads():
+        overrides = params_by_workload.get(workload.name)
+        params = workload.params_with_defaults(overrides) if overrides else None
+        try:
+            prepared = workload.prepare(params)
+        except WorkloadError:
+            continue
+        for variant in VARIANTS:
+            try:
+                graph = prepared.launch(variant).graph
+            except WorkloadError:
+                continue  # workload has no such variant
+            if graph.has_interthread():
+                continue
+            cases.append((workload.name, variant, prepared.params))
+    return cases
+
+
+SMALL_CASES = _interthread_free_cases(SMALL_PARAMS)
+LARGE_CASES = _interthread_free_cases(LARGE_PARAMS)
+
+
+def test_sweep_covers_every_stream_capable_workload():
+    """The discovered sweep must include every registry workload that
+    advertises a streaming variant — if a new one appears, it needs a
+    params entry above (this test is what notices)."""
+    stream_capable = {w.name for w in all_workloads() if w.has_stream_variant()}
+    assert {name for name, _, _ in SMALL_CASES} == stream_capable
+    assert stream_capable == set(SMALL_PARAMS)
+    assert set(LARGE_PARAMS) == set(SMALL_PARAMS)
+
+
+def _assert_engines_equivalent(name, variant, params):
+    workload = next(w for w in all_workloads() if w.name == name)
+    prepared = workload.prepare(params)
+    compiled = compile_kernel(prepared.launch(variant).graph)
+    event = run_cycle_accurate(compiled, prepared.launch(variant), engine="event")
+    batched = run_cycle_accurate(compiled, prepared.launch(variant), engine="batched")
+    for array_name in prepared.expected:
+        assert np.array_equal(event.array(array_name), batched.array(array_name)), array_name
+    prepared.check_outputs({n: batched.array(n) for n in prepared.expected})
+    for output_name, values in event.outputs.items():
+        assert batched.outputs[output_name] == values, output_name
+    event_counters = event.stats.as_dict()
+    batched_counters = batched.stats.as_dict()
+    for counter, value in event_counters.items():
+        if counter in ("cycles", "engine"):  # provenance differs by design
+            continue
+        assert batched_counters[counter] == value, counter
+
+
+@pytest.mark.parametrize(
+    "name,variant,params",
+    SMALL_CASES,
+    ids=[f"{n}-{v}-small" for n, v, _ in SMALL_CASES],
+)
+def test_engines_bit_identical_small(name, variant, params):
+    _assert_engines_equivalent(name, variant, params)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name,variant,params",
+    LARGE_CASES,
+    ids=[f"{n}-{v}-large" for n, v, _ in LARGE_CASES],
+)
+def test_engines_bit_identical_large(name, variant, params):
+    _assert_engines_equivalent(name, variant, params)
