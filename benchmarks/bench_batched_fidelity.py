@@ -27,11 +27,16 @@ table, or as a script (CI uses ``--quick`` in the fast lane)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+from benchmarks.common import add_json_option, write_json
 from repro.compiler.pipeline import compile_kernel
 from repro.config.system import SystemConfig, default_system_config
+from repro.sim.batched import BatchedSimulator
 from repro.sim.cycle import run_cycle_accurate
 from repro.workloads.registry import all_workloads
 
@@ -125,14 +130,27 @@ def interthread_free_variants(params_by_workload) -> list[tuple[str, str, dict]]
 
 
 def run_pair(name: str, variant: str, params: dict, config: SystemConfig) -> dict:
-    """One workload variant on both engines; returns the comparison row."""
+    """One workload variant on both engines; returns the comparison row.
+
+    The batched engine additionally runs once with the sequential
+    reference walk (``analytic_vectorised=False``): the vectorised
+    per-set walk must be counter- and cycle-identical to it on every
+    row — it is an implementation, not an approximation.
+    """
     workload = next(w for w in all_workloads() if w.name == name)
     prepared = workload.prepare(params)
     compiled = compile_kernel(prepared.launch(variant).graph, config)
     event = run_cycle_accurate(compiled, prepared.launch(variant), engine="event")
     batched = run_cycle_accurate(compiled, prepared.launch(variant), engine="batched")
+    sequential = BatchedSimulator(
+        compiled, prepared.launch(variant), analytic_vectorised=False
+    ).run()
     event_counters = event.counters()
     batched_counters = batched.counters()
+    walk_identical = (
+        batched.cycles == sequential.cycles
+        and batched_counters == sequential.counters()
+    )
 
     def rel_error(key: str) -> float:
         reference = event_counters.get(key, 0)
@@ -150,6 +168,7 @@ def run_pair(name: str, variant: str, params: dict, config: SystemConfig) -> dic
             event_counters.get(key, 0) == batched_counters.get(key, 0)
             for key in MISS_COUNTERS
         ),
+        "walk_identical": walk_identical,
         "event": {key: event_counters.get(key, 0) for key in REPORTED_COUNTERS},
         "batched": {key: batched_counters.get(key, 0) for key in REPORTED_COUNTERS},
     }
@@ -182,6 +201,11 @@ def check_rows(rows) -> list[str]:
                 f"{label}: cycle error {row['cycle_error']:.1%} "
                 f"(event {row['event_cycles']}, batched {row['batched_cycles']}, "
                 f"bar {MAX_CYCLE_ERROR:.0%})"
+            )
+        if not row["walk_identical"]:
+            failures.append(
+                f"{label}: vectorised tag walk diverges from the sequential "
+                "reference walk (counters or cycles differ)"
             )
     return failures
 
@@ -219,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="CI fast-lane subset: order-stable regimes at small sizes",
     )
+    add_json_option(parser)
     args = parser.parse_args(argv)
     rows = collect_rows(quick=args.quick)
     print_table(rows)
@@ -226,8 +251,18 @@ def main(argv: list[str] | None = None) -> int:
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:
-        gates = "exact L1/L2 misses on order-stable rows, cycle error <= 10% everywhere"
+        gates = (
+            "exact L1/L2 misses on order-stable rows, cycle error <= 10% "
+            "everywhere, vectorised == sequential walk"
+        )
         print(f"\nall {len(rows)} rows pass ({gates})")
+    write_json(
+        args.json,
+        "batched_fidelity",
+        [dict(row, regime=regime, order_stable=stable) for regime, stable, row in rows],
+        failures,
+        extra={"quick": args.quick, "max_cycle_error": MAX_CYCLE_ERROR},
+    )
     return 1 if failures else 0
 
 

@@ -14,10 +14,15 @@ section.  Usage::
 from __future__ import annotations
 
 import argparse
+import os
+import shutil
 import sys
 import tempfile
 import time
 
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+from benchmarks.common import add_json_option, write_json
 from repro.explore.runner import run_campaign
 from repro.explore.spec import CampaignSpec
 
@@ -32,7 +37,12 @@ SPEC = CampaignSpec(
 
 
 def _measure(jobs: int) -> dict:
-    with tempfile.TemporaryDirectory(prefix="explore-cache-") as cache_dir:
+    # Explicit try/finally instead of TemporaryDirectory so the cache
+    # directory is removed even when a worker crash leaves files open or
+    # an assertion fires mid-measure; cleanup errors never mask the
+    # benchmark's own failure.
+    cache_dir = tempfile.mkdtemp(prefix="explore-cache-")
+    try:
         started = time.perf_counter()
         cold = run_campaign(SPEC, jobs=jobs, cache_dir=cache_dir)
         cold_s = time.perf_counter() - started
@@ -40,6 +50,8 @@ def _measure(jobs: int) -> dict:
         started = time.perf_counter()
         warm = run_campaign(SPEC, jobs=jobs, cache_dir=cache_dir)
         warm_s = time.perf_counter() - started
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
 
     assert cold.total == 4, f"expected 4 points, got {cold.total}"
     assert not cold.errors, [o.record.get("error") for o in cold.errors]
@@ -67,12 +79,14 @@ def test_second_campaign_run_is_all_cache_hits():
     assert row["warm_s"] < row["cold_s"]
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=2)
-    args = parser.parse_args()
+    add_json_option(parser)
+    args = parser.parse_args(argv)
     row = _measure(jobs=args.jobs)
     _print_table(row, jobs=args.jobs)
+    write_json(args.json, "explore_cache", [row], extra={"jobs": args.jobs})
     return 0
 
 

@@ -16,10 +16,15 @@ communicating kernels" section.  Usage::
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
 
 import numpy as np
 
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+from benchmarks.common import add_json_option, write_json
 from repro.compiler.pipeline import compile_kernel
 from repro.sim.multicore import run_sharded
 from repro.workloads.registry import get_workload
@@ -98,9 +103,19 @@ def test_windowed_reduce_scales_across_cores():
     assert by_cores[4]["speedup"] >= 1.5
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_json_option(parser)
+    args = parser.parse_args(argv)
     rows = _measure()
     _print_table(rows)
+    name, params, _ = WORKLOAD
+    write_json(
+        args.json,
+        "multicore_scaling",
+        rows,
+        extra={"workload": name, "params": params},
+    )
     return 0
 
 

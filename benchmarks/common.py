@@ -4,18 +4,110 @@ The full-suite comparison (9 kernels x 3 architectures) is computed once
 per pytest session and reused by the Figure 11 and Figure 12 benches.
 The suite honours the ``--engine`` option (see ``benchmarks/conftest.py``)
 so both simulation engines can be exercised by the same drivers.
+
+Every CLI benchmark runner also supports ``--json out.json``
+(:func:`add_json_option` / :func:`write_json`): the gate's measured
+numbers are written as a machine-readable record so CI can merge them
+into one ``BENCH_ci.json`` artifact (``python benchmarks/common.py
+--merge BENCH_ci.json bench_*.json``) instead of throwing the
+trajectory away with the job log.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
+import platform
+import sys
 from functools import lru_cache
 
-from repro.analysis.comparison import ComparisonTable
-from repro.harness.experiments import run_suite
-from repro.harness.figures import BENCHMARK_SUITE_PARAMS
+__all__ = ["add_json_option", "cached_suite", "merge_json", "write_json"]
 
 
 @lru_cache(maxsize=None)
-def cached_suite(engine: str = "auto") -> ComparisonTable:
-    """Run the Table 3 suite on all three architectures once and cache it."""
+def cached_suite(engine: str = "auto"):
+    """Run the Table 3 suite on all three architectures once and cache it.
+
+    Imports stay local so the CLI ``--merge`` mode works without the
+    simulator package on ``sys.path``.
+    """
+    from repro.harness.experiments import run_suite
+    from repro.harness.figures import BENCHMARK_SUITE_PARAMS
+
     return run_suite(params=BENCHMARK_SUITE_PARAMS, engine=engine)
+
+
+def add_json_option(parser: argparse.ArgumentParser) -> None:
+    """Register the shared ``--json PATH`` option on a runner's parser."""
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the gate's measured numbers to PATH as JSON",
+    )
+
+
+def write_json(
+    path: "str | None",
+    benchmark: str,
+    rows: list,
+    failures: "list[str] | None" = None,
+    extra: "dict | None" = None,
+) -> None:
+    """Write one runner's machine-readable result record (no-op if no path)."""
+    if not path:
+        return
+    payload = {
+        "benchmark": benchmark,
+        "ok": not failures,
+        "failures": list(failures or ()),
+        "rows": rows,
+        "python": platform.python_version(),
+    }
+    if extra:
+        payload.update(extra)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def merge_json(out_path: str, in_paths: list[str]) -> dict:
+    """Merge per-gate records into one trajectory file keyed by benchmark."""
+    merged: dict = {"gates": {}, "ok": True}
+    for path in in_paths:
+        with open(path, encoding="utf-8") as handle:
+            record = json.load(handle)
+        name = record.get("benchmark", os.path.basename(path))
+        merged["gates"][name] = record
+        merged["ok"] = merged["ok"] and bool(record.get("ok", True))
+    merged["python"] = platform.python_version()
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return merged
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--merge",
+        nargs="+",
+        metavar=("OUT", "IN"),
+        help="merge per-gate JSON records (IN...) into one trajectory file OUT",
+    )
+    args = parser.parse_args(argv)
+    if not args.merge or len(args.merge) < 2:
+        parser.error("--merge needs an output path and at least one input record")
+    merged = merge_json(args.merge[0], args.merge[1:])
+    print(
+        f"merged {len(merged['gates'])} gate record(s) into {args.merge[0]} "
+        f"(ok={merged['ok']})"
+    )
+    return 0 if merged["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ before the full benchmark suite runs.  Usage::
 
     python benchmarks/smoke.py          # tests + engines + sharding
     python benchmarks/smoke.py --no-tests   # engine/sharding checks only
+    python benchmarks/smoke.py --no-tests --json out.json
 """
 
 from __future__ import annotations
@@ -23,6 +24,9 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO_ROOT, "src")
 
 COMPARED_COUNTERS = ("alu_ops", "fpu_ops", "global_loads", "global_stores")
+
+#: Measured rows collected for the optional --json record.
+RESULTS: list[dict] = []
 
 
 def run_tests() -> int:
@@ -53,6 +57,14 @@ def run_engine_smoke() -> int:
         elapsed = time.perf_counter() - start
         print(f"  {engine:<8} 256-thread matmul: {elapsed:.2f}s, "
               f"{results[engine].cycles} cycles")
+        RESULTS.append(
+            {
+                "check": "engine",
+                "engine": engine,
+                "seconds": elapsed,
+                "cycles": results[engine].cycles,
+            }
+        )
 
     event, batched = results["event"], results["batched"]
     if not np.array_equal(event.array("c"), batched.array("c")):
@@ -95,6 +107,14 @@ def run_sharding_smoke() -> int:
         return 1
     print(f"  sharded 256-thread reduce: {elapsed:.2f}s, "
           f"{single.cycles} cycles on 1 core, {multi.cycles} on 4")
+    RESULTS.append(
+        {
+            "check": "sharding",
+            "seconds": elapsed,
+            "single_core_cycles": single.cycles,
+            "four_core_cycles": multi.cycles,
+        }
+    )
     if not np.array_equal(single.array("partials"), multi.array("partials")):
         print("FAIL: sharded outputs differ from the single-core run")
         return 1
@@ -111,6 +131,13 @@ def run_sharding_smoke() -> int:
 
 
 def main(argv: list[str]) -> int:
+    json_path = None
+    if "--json" in argv:
+        value_index = argv.index("--json") + 1
+        if value_index >= len(argv) or argv[value_index].startswith("--"):
+            print("usage: smoke.py [--no-tests] [--json PATH]", file=sys.stderr)
+            return 2
+        json_path = argv[value_index]
     if "--no-tests" not in argv:
         print("== tier-1 tests ==")
         rc = run_tests()
@@ -119,10 +146,20 @@ def main(argv: list[str]) -> int:
     print("== engine smoke (matmul, 256 threads, both engines) ==")
     sys.path.insert(0, SRC)
     rc = run_engine_smoke()
-    if rc:
-        return rc
-    print("== sharding smoke (windowed reduce, 1 vs 4 cores) ==")
-    return run_sharding_smoke()
+    if rc == 0:
+        print("== sharding smoke (windowed reduce, 1 vs 4 cores) ==")
+        rc = run_sharding_smoke()
+    if json_path:
+        sys.path.insert(0, REPO_ROOT)
+        from benchmarks.common import write_json
+
+        write_json(
+            json_path,
+            "smoke",
+            RESULTS,
+            failures=["smoke checks failed"] if rc else [],
+        )
+    return rc
 
 
 if __name__ == "__main__":

@@ -17,6 +17,15 @@ replacement decision, which is what this module provides:
   so a victim's writeback goes to the victim's *actual* address — the
   previous tag-only reconstruction dropped the set bits and aimed every
   writeback at set 0.
+* :class:`LruTagArray` — the vectorised twin of :class:`LruTagStore`:
+  the same per-set MRU-ordered tag state held as ``(num_sets, ways)``
+  NumPy arrays, replayed over a whole replay-ordered line-address stream
+  at once.  Each set's LRU state is independent, so the stream is
+  decomposed per set (:func:`group_spans`) and walked in synchronous
+  rounds — round ``r`` advances the ``r``-th access of *every* set with
+  one vector operation — after collapsing consecutive same-line runs
+  (guaranteed hits under write-allocate).  Per access it reports the
+  same hit/victim/victim-dirty decisions the scalar store makes.
 
 Timing, banks, MSHRs and statistics deliberately stay out of this module:
 the event engine keeps its cycle-stamped models in ``memory/cache.py``
@@ -27,11 +36,45 @@ questions here.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, NamedTuple, Optional
+
+import numpy as np
 
 from repro.config.system import CacheConfig
 
-__all__ = ["CacheGeometry", "LruTagStore", "TagEntry"]
+__all__ = [
+    "CacheGeometry",
+    "LruTagArray",
+    "LruTagStore",
+    "TagEntry",
+    "TagReplay",
+    "group_spans",
+]
+
+
+def group_spans(
+    keys: np.ndarray, upper_bound: "int | None" = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stable-partition an access stream by an integer key (set or bank).
+
+    Returns ``(order, starts, ends)``: ``order`` permutes the stream so
+    equal keys are contiguous while preserving stream order inside each
+    group, and ``keys[order][starts[g]:ends[g]]`` is the ``g``-th group.
+
+    ``upper_bound`` (exclusive) lets callers with small keys — set and
+    bank indices — promise a narrow dtype, which switches NumPy's stable
+    sort to its much faster radix path.
+    """
+    if keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    if upper_bound is not None and upper_bound <= np.iinfo(np.int16).max:
+        keys = keys.astype(np.int16, copy=False)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    starts = np.flatnonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
+    ends = np.r_[starts[1:], keys.size]
+    return order, starts, ends
 
 
 class CacheGeometry:
@@ -67,6 +110,10 @@ class CacheGeometry:
     def tag_of(self, line_addr):
         """The tag stored for a line address."""
         return line_addr // (self.line_bytes * self.num_sets)
+
+    def bank_index(self, line_addr, banks: int):
+        """Which of ``banks`` line-interleaved banks services a line address."""
+        return (line_addr // self.line_bytes) % banks
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -156,3 +203,172 @@ class LruTagStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LruTagStore({self.geometry!r}, resident={self.resident_lines()})"
+
+
+class TagReplay(NamedTuple):
+    """Per-access classification of one replayed line-address stream.
+
+    ``victim_line`` is ``-1`` where an access evicted nothing; where it
+    did, ``victim_dirty`` says whether the eviction owes a writeback.
+    """
+
+    hit: np.ndarray
+    victim_line: np.ndarray
+    victim_dirty: np.ndarray
+
+
+class LruTagArray:
+    """Vectorised per-set twin of :class:`LruTagStore`.
+
+    State is ``(num_sets, ways)`` arrays ordered MRU-first per row;
+    invalid ways hold line ``-1`` and stay contiguous at the LRU end, so
+    an install is always "shift right, insert at column 0" and the
+    victim of a full set is always column ``ways - 1`` — exactly the
+    move-to-back list discipline of the scalar store, transposed.
+
+    Unlike :class:`LruTagStore`, the write policy lives *here*: whether
+    a write miss installs (write-allocate) and whether a write hit dirties
+    the line (write-back) changes which accesses update LRU state, so the
+    replay cannot be policy-agnostic.  The scalar walk applies the same
+    policy outside the store; the equivalence is pinned by the hypothesis
+    sweep in ``tests/memory/test_tagcore.py``.
+    """
+
+    __slots__ = ("geometry", "write_back", "write_allocate", "_lines", "_dirty")
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        write_back: bool = True,
+        write_allocate: bool = True,
+    ) -> None:
+        self.geometry = geometry
+        self.write_back = bool(write_back)
+        self.write_allocate = bool(write_allocate)
+        self._lines = np.full((geometry.num_sets, geometry.ways), -1, dtype=np.int64)
+        self._dirty = np.zeros((geometry.num_sets, geometry.ways), dtype=bool)
+
+    @classmethod
+    def from_config(cls, config: CacheConfig) -> "LruTagArray":
+        return cls(
+            CacheGeometry.from_config(config),
+            write_back=config.write_back,
+            write_allocate=config.write_allocate,
+        )
+
+    # ------------------------------------------------------------------ replay
+    def replay(self, line_addrs: np.ndarray, is_write: np.ndarray) -> TagReplay:
+        """Classify a replay-ordered stream of (non-negative) line addresses.
+
+        The stream is stably partitioned per set, consecutive same-line
+        runs are collapsed under write-allocate (every access after the
+        first is a guaranteed hit that at most dirties the line), and the
+        compressed per-set streams advance in synchronous rounds: one
+        vector step touches the next pending run of every set at once.
+        State persists across calls, so replaying a stream in chunks is
+        identical to replaying it whole.
+        """
+        lines = np.asarray(line_addrs, dtype=np.int64)
+        writes = np.asarray(is_write, dtype=bool)
+        n = lines.size
+        hit = np.zeros(n, dtype=bool)
+        victim_line = np.full(n, -1, dtype=np.int64)
+        victim_dirty = np.zeros(n, dtype=bool)
+        if n == 0:
+            return TagReplay(hit, victim_line, victim_dirty)
+
+        order, set_starts_g, _ = group_spans(
+            self.geometry.set_index(lines), upper_bound=self.geometry.num_sets
+        )
+        g_lines = lines[order]
+        g_writes = writes[order]
+        set_first = np.zeros(n, dtype=bool)
+        set_first[set_starts_g] = True
+
+        if self.write_allocate:
+            run_first = set_first | np.r_[True, g_lines[1:] != g_lines[:-1]]
+        else:
+            # Under write-no-allocate a missing write leaves the set
+            # untouched, so same-line runs do not collapse.
+            run_first = np.ones(n, dtype=bool)
+        run_starts = np.flatnonzero(run_first)
+        nruns = run_starts.size
+        r_lines = g_lines[run_starts]
+        r_wfirst = g_writes[run_starts]
+        write_counts = np.add.reduceat(g_writes, run_starts)
+        r_any_write = write_counts > 0
+        r_rest_write = write_counts > r_wfirst
+
+        # Per-set sequences of runs: seq_starts/seq_counts index into runs.
+        r_setfirst = set_first[run_starts]
+        seq_starts = np.flatnonzero(r_setfirst)
+        seq_counts = np.r_[seq_starts[1:], nruns] - seq_starts
+        seq_sets = self.geometry.set_index(r_lines[seq_starts])
+
+        r_hit = np.zeros(nruns, dtype=bool)
+        r_vline = np.full(nruns, -1, dtype=np.int64)
+        r_vdirty = np.zeros(nruns, dtype=bool)
+
+        ways = self.geometry.ways
+        cols = np.arange(ways)
+        state_lines, state_dirty = self._lines, self._dirty
+        wb, wa = self.write_back, self.write_allocate
+        for rnd in range(int(seq_counts.max())):
+            live = seq_counts > rnd
+            runs = seq_starts[live] + rnd
+            rows = seq_sets[live]
+            cur = r_lines[runs]
+            cur_w = r_wfirst[runs]
+            sl = state_lines[rows]
+            sd = state_dirty[rows]
+            eq = sl == cur[:, None]
+            h = eq.any(axis=1)
+            depth = np.where(h, eq.argmax(axis=1), ways - 1)
+            row_idx = np.arange(rows.size)
+            install = ~h if wa else ~h & ~cur_w
+            lru_line = sl[:, ways - 1]
+            has_victim = install & (lru_line != -1)
+            r_hit[runs] = h
+            r_vline[runs] = np.where(has_victim, lru_line, -1)
+            r_vdirty[runs] = has_victim & sd[:, ways - 1]
+            # The new MRU entry's dirty bit: on a hit the run's writes
+            # dirty the old entry (write-back only); on a miss the first
+            # access installs dirty under write-allocate and the rest of
+            # the run are write hits.
+            d_front = np.where(
+                h,
+                sd[row_idx, depth] | (r_any_write[runs] & wb),
+                (cur_w & wa) | (r_rest_write[runs] & wb),
+            )
+            # Rotate columns 0..depth right by one and insert at the front.
+            src = np.where(cols <= depth[:, None], cols - 1, cols)
+            np.clip(src, 0, None, out=src)
+            new_l = sl[row_idx[:, None], src]
+            new_d = sd[row_idx[:, None], src]
+            new_l[:, 0] = cur
+            new_d[:, 0] = d_front
+            changed = h | install
+            state_lines[rows[changed]] = new_l[changed]
+            state_dirty[rows[changed]] = new_d[changed]
+
+        # Expand runs back to accesses: every non-first access of a run
+        # is a guaranteed hit; victims belong to the run's first access.
+        g_hit = r_hit[np.cumsum(run_first) - 1]
+        g_hit[~run_first] = True
+        hit[order] = g_hit
+        first_orig = order[run_starts]
+        victim_line[first_orig] = r_vline
+        victim_dirty[first_orig] = r_vdirty
+        return TagReplay(hit, victim_line, victim_dirty)
+
+    # ----------------------------------------------------------------- queries
+    def contains(self, address: int) -> bool:
+        line_addr = self.geometry.line_address(int(address))
+        row = self._lines[self.geometry.set_index(line_addr)]
+        return bool((row == line_addr).any())
+
+    def resident_lines(self) -> int:
+        return int((self._lines != -1).sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LruTagArray({self.geometry!r}, resident={self.resident_lines()})"

@@ -50,6 +50,14 @@ other loads fall back to per-node replay order (classification stays
 capacity/conflict-aware; only the cross-engine ordering guarantee is
 lost).
 
+The tag walk itself is vectorised (``sim/analytic_cache.py``): per-set
+LRU classification via :class:`~repro.memory.tagcore.LruTagArray`,
+closed-form per-bank queue timing and a per-line previous-fill gather
+for MSHR-merge timing, with only the L2-bound residue (misses,
+writebacks, write-throughs) walked sequentially — counter- and
+cycle-identical to the one-access-at-a-time reference walk kept behind
+``AnalyticMemoryModel(vectorised=False)``.
+
 The classification is mirrored into the hierarchy's counters, so the
 energy pipeline and ``CycleResult.counters()`` see the analytic model
 exactly where the event engine's exact counters would appear.  Residual
@@ -70,7 +78,7 @@ order-stable traces, estimates otherwise.
 from __future__ import annotations
 
 import math
-from typing import Any, Sequence
+from typing import Any, NamedTuple, Sequence
 
 import numpy as np
 
@@ -101,6 +109,22 @@ _SOURCE_OPCODES = (
     Opcode.TID_Z,
     Opcode.TID_LINEAR,
 )
+
+
+class _StaticTables(NamedTuple):
+    """Launch-independent analysis of one compiled kernel, cached on it."""
+
+    order: list
+    inputs: dict
+    successors: dict
+    edge_latency: dict
+    edge_hops: dict
+    sink_nodes: list
+    order_pos: dict
+    load_nodes: list
+    prepass_nodes: "set[int] | None"
+    ordered_loads: bool
+    load_keys: dict
 
 
 def _coerce_vec(values: np.ndarray, dtype: DType) -> np.ndarray:
@@ -264,6 +288,7 @@ class BatchedSimulator:
         thread_ids: Sequence[int] | None = None,
         memory: MemoryImage | None = None,
         dram_contention: int = 1,
+        analytic_vectorised: bool = True,
     ) -> None:
         if compiled.graph.metadata.get("num_threads") != launch.graph.metadata.get(
             "num_threads"
@@ -300,20 +325,25 @@ class BatchedSimulator:
         self.outputs: dict[str, list[Any]] = {}
 
         self._ports = max(1, compiled.replicas)
-        self._order = self.graph.topological_order(ignore_temporal=False)
-        self._inputs: dict[int, list[tuple[int, int]]] = {
-            node.node_id: sorted(self.graph.inputs_of(node.node_id).items())
-            for node in self._order
-        }
-        self._successors: dict[int, list[tuple[int, int]]] = {
-            node.node_id: self.graph.successors(node.node_id) for node in self._order
-        }
-        self._edge_latency, self._edge_hops = edge_timing(compiled)
-        self._sink_nodes = [
-            n.node_id
-            for n in self._order
-            if n.opcode in (Opcode.STORE, Opcode.SCRATCH_STORE, Opcode.OUTPUT)
-        ]
+        # The graph-structural tables and event-order keys depend only on
+        # the compiled kernel, so they are computed once and cached on it:
+        # repeated simulations of the same kernel (benchmark loops, wave
+        # after wave of explore campaigns) skip the static analysis.
+        static = compiled.__dict__.get("_batched_static")
+        if static is None:
+            static = self._build_static(compiled)
+            compiled.__dict__["_batched_static"] = static
+        self._order = static.order
+        self._inputs = static.inputs
+        self._successors = static.successors
+        self._edge_latency = static.edge_latency
+        self._edge_hops = static.edge_hops
+        self._sink_nodes = static.sink_nodes
+        self._order_pos = static.order_pos
+        self._load_nodes = static.load_nodes
+        self._prepass_nodes = static.prepass_nodes
+        self._ordered_loads = static.ordered_loads
+        self._load_keys = static.load_keys
         # Issue-queue tail per node: the last issue cycle of each port
         # stream, carried across wave groups.
         self._port_tail: dict[int, np.ndarray] = {
@@ -327,19 +357,59 @@ class BatchedSimulator:
         # models exactly).
         if dram_contention < 1:
             raise SimulationError("dram_contention must be >= 1")
+        # ``analytic_vectorised=False`` selects the sequential reference
+        # walk; both walks are counter- and cycle-identical (pinned by
+        # tests/sim/test_fidelity.py), the vectorised one is just fast.
         self._analytic = AnalyticMemoryModel(
-            self.config.memory, self.hierarchy, dram_contention=dram_contention
+            self.config.memory,
+            self.hierarchy,
+            dram_contention=dram_contention,
+            vectorised=analytic_vectorised,
         )
         self._l1_baseline = (
             self.hierarchy.l1.stats.misses,
             self.hierarchy.l1.stats.hits,
         )
+        self._completion = 0.0
+
+    def _build_static(self, compiled: CompiledKernel) -> _StaticTables:
+        """Launch-independent tables, cached on the compiled kernel.
+
+        The graph-walk helpers (``_pure_load_ancestors``,
+        ``_event_order_keys``) read the structural tables through
+        ``self``, so those are assigned here as they are built; the
+        caller re-assigns every field from the returned record by name.
+        """
+        self._order = self.graph.topological_order(ignore_temporal=False)
+        self._inputs = {
+            node.node_id: sorted(self.graph.inputs_of(node.node_id).items())
+            for node in self._order
+        }
+        self._successors = {
+            node.node_id: self.graph.successors(node.node_id) for node in self._order
+        }
+        self._edge_latency, self._edge_hops = edge_timing(compiled)
         self._order_pos = {node.node_id: i for i, node in enumerate(self._order)}
         self._load_nodes = [n for n in self._order if n.opcode is Opcode.LOAD]
-        self._prepass_nodes = self._pure_load_ancestors()
-        self._ordered_loads = self._prepass_nodes is not None
-        self._load_keys = self._event_order_keys() if self._ordered_loads else {}
-        self._completion = 0.0
+        prepass_nodes = self._pure_load_ancestors()
+        ordered_loads = prepass_nodes is not None
+        return _StaticTables(
+            order=self._order,
+            inputs=self._inputs,
+            successors=self._successors,
+            edge_latency=self._edge_latency,
+            edge_hops=self._edge_hops,
+            sink_nodes=[
+                n.node_id
+                for n in self._order
+                if n.opcode in (Opcode.STORE, Opcode.SCRATCH_STORE, Opcode.OUTPUT)
+            ],
+            order_pos=self._order_pos,
+            load_nodes=self._load_nodes,
+            prepass_nodes=prepass_nodes,
+            ordered_loads=ordered_loads,
+            load_keys=self._event_order_keys() if ordered_loads else {},
+        )
 
     # ------------------------------------------------------- event-order keys
     def _pure_load_ancestors(self) -> "set[int] | None":
@@ -554,31 +624,45 @@ class BatchedSimulator:
 
         if not pending:
             return
-        # One row per access; sort columns are the order-key components
-        # (moment components shifted by 2 * inject per thread), then node
-        # position, then thread position within the wave.
+        # The order key of an access is fully determined by its (load
+        # node, inject cycle) pair — the moment components shift by
+        # ``2 * inject`` and everything else is per-node constant — and
+        # a wave has only ``len(pending) * n_injects`` distinct pairs
+        # against ``len(pending) * n`` accesses (``replicas`` threads
+        # share each inject cycle).  So rank the distinct pairs with a
+        # small lexsort over their component matrix and sort the whole
+        # wave by one composite integer: pair rank, tie-broken by thread
+        # position exactly like the previous full-width per-access sort.
         depth = max(self._load_keys[nid][0].size for nid, _, _, _ in pending)
         total = n * len(pending)
-        columns = [np.full(total, -1.0) for _ in range(depth)]
-        node_column = np.empty(total)
-        position_column = np.empty(total)
+        inject_ids = (inject - inject[0]).astype(np.int64)
+        n_injects = int(inject_ids[-1]) + 1
+        shifts = 2.0 * (inject[0] + np.arange(n_injects, dtype=np.float64))
+        pairs = len(pending) * n_injects
+        pair_columns = np.full((depth, pairs), -1.0)
+        pair_node = np.empty(pairs)
         issue_all = np.empty(total)
         address_all = np.empty(total, dtype=np.int64)
-        shift = 2.0 * inject
-        positions = np.arange(n, dtype=np.float64)
         for block, (nid, issue, _, addresses) in enumerate(pending):
-            rows = slice(block * n, (block + 1) * n)
+            rows = slice(block * n_injects, (block + 1) * n_injects)
             components, moments = self._load_keys[nid]
             for j in range(components.size):
                 if moments[j]:
-                    columns[j][rows] = components[j] + shift
+                    pair_columns[j, rows] = components[j] + shifts
                 else:
-                    columns[j][rows] = components[j]
-            node_column[rows] = float(self._order_pos[nid])
-            position_column[rows] = positions
-            issue_all[rows] = issue
-            address_all[rows] = addresses
-        order = np.lexsort(tuple([position_column, node_column] + columns[::-1]))
+                    pair_columns[j, rows] = components[j]
+            pair_node[rows] = float(self._order_pos[nid])
+            issue_all[block * n : (block + 1) * n] = issue
+            address_all[block * n : (block + 1) * n] = addresses
+        pair_order = np.lexsort(tuple([pair_node] + list(pair_columns[::-1])))
+        pair_rank = np.empty(pairs, dtype=np.int64)
+        pair_rank[pair_order] = np.arange(pairs)
+        block_base = np.repeat(
+            np.arange(len(pending), dtype=np.int64) * n_injects, n
+        )
+        composite = pair_rank[block_base + np.tile(inject_ids, len(pending))] * n
+        composite += np.tile(np.arange(n, dtype=np.int64), len(pending))
+        order = np.argsort(composite)
         completions = np.empty(total)
         completions[order] = self._analytic.access_batch(
             address_all[order], issue_all[order], is_store=False
@@ -610,8 +694,15 @@ class BatchedSimulator:
         ``t_i = i + cummax(r_i - i)`` along each port stream.
         """
         ports = self._ports
-        order = np.argsort(ready, kind="stable")
-        r = ready[order]
+        # Ready times of a pure chain are monotone in thread position
+        # (inject order plus uniform latencies), so the sort is usually a
+        # no-op; detect that with one cheap pass instead of an argsort.
+        if ready.size < 2 or bool((ready[1:] >= ready[:-1]).all()):
+            order = None
+            r = ready
+        else:
+            order = np.argsort(ready, kind="stable")
+            r = ready[order]
         issue_sorted = np.empty_like(r)
         tail = self._port_tail[nid]
         for p in range(ports):
@@ -623,6 +714,8 @@ class BatchedSimulator:
             t = np.maximum(t, tail[p] + 1.0 + idx)
             issue_sorted[p::ports] = t
             tail[p] = t[-1]
+        if order is None:
+            return issue_sorted
         issue = np.empty_like(r)
         issue[order] = issue_sorted
         return issue

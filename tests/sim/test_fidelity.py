@@ -155,6 +155,94 @@ def test_dirty_writebacks_become_l2_stores_on_both_engines():
         assert batched.counters()[key] == event.counters()[key], key
 
 
+# ---------------------------------------------- vectorised walk == sequential
+def _run_batched(launch_factory, config, vectorised):
+    from repro.sim.batched import BatchedSimulator
+
+    compiled = compile_kernel(launch_factory().graph, config)
+    return BatchedSimulator(
+        compiled, launch_factory(), analytic_vectorised=vectorised
+    ).run()
+
+
+@pytest.mark.parametrize("name,params", STREAM_CASES, ids=[c[0] for c in STREAM_CASES])
+@pytest.mark.parametrize("config_name", ["default", "capacity", "thrash"])
+def test_vectorised_walk_identical_to_sequential_walk(name, params, config_name):
+    """The per-set vectorised tag walk is not an approximation: cycles
+    and every memory-hierarchy counter equal the sequential reference
+    walk on the fidelity workloads under every gated memory regime."""
+    config = {
+        "default": default_system_config(),
+        "capacity": capacity_config(),
+        "thrash": capacity_config(size_bytes=512, ways=1),
+    }[config_name]
+    prepared, factory = stream_launch(name, params)
+    sequential = _run_batched(factory, config, vectorised=False)
+    vectorised = _run_batched(factory, config, vectorised=True)
+    assert vectorised.cycles == sequential.cycles
+    assert vectorised.counters() == sequential.counters()
+    output = next(iter(prepared.expected))
+    assert np.array_equal(vectorised.array(output), sequential.array(output))
+
+
+def test_vectorised_model_identical_on_random_mixed_streams():
+    """Model-level differential: random mixed load/store streams with
+    non-monotone integral issue cycles, replayed in several batches,
+    produce identical completion cycles, counters and MSHR state on the
+    vectorised and sequential walks (thrash-heavy config, tiny MSHR so
+    prune events fire)."""
+    from dataclasses import replace as dc_replace
+
+    from repro.memory.hierarchy import MemoryHierarchy
+    from repro.sim.analytic_cache import AnalyticMemoryModel
+
+    rng = np.random.default_rng(1234)
+    base = default_system_config().memory
+    for write_back, write_allocate, mshr_entries in (
+        (True, True, 1),
+        (True, True, 32),
+        (False, False, 2),
+        (True, False, 1),
+    ):
+        l1 = dc_replace(
+            base.l1,
+            size_bytes=512,
+            line_bytes=64,
+            ways=2,
+            banks=2,
+            hit_latency=4,
+            write_back=write_back,
+            write_allocate=write_allocate,
+            mshr_entries=mshr_entries,
+        )
+        l2 = dc_replace(base.l2, size_bytes=4096, ways=4, banks=2, hit_latency=8)
+        config = dc_replace(base, l1=l1, l2=l2)
+        models = []
+        for vectorised in (False, True):
+            hierarchy = MemoryHierarchy(config)
+            models.append(
+                (
+                    AnalyticMemoryModel(
+                        config, hierarchy, dram_contention=2, vectorised=vectorised
+                    ),
+                    hierarchy,
+                )
+            )
+        clock = 0.0
+        for _ in range(4):
+            n = int(rng.integers(50, 400))
+            addresses = rng.integers(0, 1 << 12, n)
+            writes = rng.integers(0, 2, n).astype(bool)
+            cycles = np.floor(
+                clock + np.cumsum(rng.integers(0, 3, n)) + rng.integers(0, 9, n)
+            ).astype(np.float64)
+            clock = float(cycles.max()) + 1
+            outs = [m.access_batch(addresses, cycles, writes) for m, _ in models]
+            assert np.array_equal(outs[0], outs[1])
+        assert models[0][1].stats().flat() == models[1][1].stats().flat()
+        assert models[0][0].l1.mshr == models[1][0].l1.mshr
+
+
 # ------------------------------------------------------------- fallback mode
 def test_load_dependent_load_falls_back_but_stays_equivalent():
     """A gather (load feeding another load's index) disables the
