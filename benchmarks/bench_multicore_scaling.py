@@ -56,9 +56,11 @@ def _measure() -> list[dict]:
     for cores in CORE_COUNTS:
         result = run_sharded(compiled, prepared.launch("dmt"), cores=cores)
         assert "shard_fallback_reason" not in result.stats.extra, (
-            f"{name} fell back on {cores} cores: "
+            f"{name} fell back on {cores} cores "
+            f"[{result.stats.extra.get('shard_fallback_code')}]: "
             f"{result.stats.extra.get('shard_fallback_reason')}"
         )
+        assert "shard_fallback_code" not in result.stats.extra
         prepared.check_outputs({output: result.array(output)})
         if baseline is None:
             baseline = result

@@ -99,7 +99,8 @@ def run_sharding_smoke() -> int:
     elapsed = time.perf_counter() - start
 
     if "shard_fallback_reason" in multi.stats.extra:
-        print(f"FAIL: reduce fell back to one core: "
+        print(f"FAIL: reduce fell back to one core "
+              f"[{multi.stats.extra.get('shard_fallback_code')}]: "
               f"{multi.stats.extra['shard_fallback_reason']}")
         return 1
     if getattr(multi, "cores", 1) != 4:

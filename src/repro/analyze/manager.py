@@ -1,0 +1,171 @@
+"""Pass manager: run the analyzer's passes and cache the verdicts.
+
+:func:`analyze_kernel` is the single entry point.  It runs the ordered
+passes (structure, deadlock, scratch-race, shardability, engine,
+critical path) over a compiled kernel and returns an
+:class:`AnalysisResult` whose *verdict* fields are what the dynamic
+layers consume:
+
+* ``result.engine`` — what ``engine="auto"`` dispatch resolves to;
+* ``result.order_stable`` / ``result.prepass_nodes`` — the batched
+  engine's replay-order decision;
+* ``result.shard`` — the window-LCM facts ``plan_shards`` acts on;
+* ``result.min_cycles`` — the static critical-path lower bound the
+  harness reports next to measured cycles.
+
+Results are cached on the compiled kernel (``_analysis`` slot, the same
+idiom as the batched engine's ``_batched_static``), keyed by a cheap
+graph signature plus the configuration digest so a mutated graph or a
+swapped config re-analyzes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.analyze.diagnostics import Diagnostic, Severity
+from repro.analyze.passes import (
+    critical_path_bound,
+    deadlock_diagnostics,
+    engine_diagnostics,
+    pure_load_ancestors,
+    scratch_race_diagnostics,
+    shard_diagnostics,
+)
+from repro.analyze.structure import structure_diagnostics
+from repro.config.system import config_digest
+from repro.graph.dfg import DataflowGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.compiler.pipeline import CompiledKernel
+
+__all__ = ["AnalysisResult", "ShardVerdict", "analyze_kernel"]
+
+
+@dataclass(frozen=True)
+class ShardVerdict:
+    """The shardability pass's verdict in the shape ``plan_shards`` wants.
+
+    ``fallback_code`` is ``None`` exactly when a window-aligned
+    multi-core cut is legal (``RA034``); otherwise it names the blocking
+    diagnostic (``RA030``/``RA031``/``RA032``) and ``fallback_reason``
+    carries the matching human text.
+    """
+
+    windows: tuple[int, ...]
+    window_lcm: int
+    fallback_code: str | None
+    fallback_reason: str | None
+
+    @property
+    def shardable(self) -> bool:
+        return self.fallback_code is None
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Everything the analyzer derived about one compiled kernel."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    engine: str
+    order_stable: bool
+    prepass_nodes: frozenset[int] | None
+    deadlock: bool
+    shard: ShardVerdict
+    min_cycles: int
+    signature: tuple[Any, ...] = field(repr=False, default=())
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """Clean bill: no errors and no warnings (INFO verdicts are fine)."""
+        return not self.errors() and not self.warnings()
+
+    def codes(self) -> list[str]:
+        return [d.code for d in self.diagnostics]
+
+    def __getitem__(self, code: str) -> Diagnostic:
+        for diagnostic in self.diagnostics:
+            if diagnostic.code == code:
+                return diagnostic
+        raise KeyError(code)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "engine": self.engine,
+            "order_stable": self.order_stable,
+            "deadlock": self.deadlock,
+            "shardable": self.shard.shardable,
+            "shard_fallback_code": self.shard.fallback_code,
+            "window_lcm": self.shard.window_lcm,
+            "min_cycles": self.min_cycles,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def _graph_signature(graph: DataflowGraph) -> tuple[Any, ...]:
+    edges = tuple(sorted((e.src, e.dst, e.dst_port) for e in graph.edges()))
+    nodes = tuple(sorted(n.node_id for n in graph.nodes))
+    return (nodes, edges, int(graph.metadata.get("num_threads", 0)))
+
+
+def analyze_kernel(compiled: "CompiledKernel") -> AnalysisResult:
+    """Run all passes over ``compiled``, with caching on the kernel."""
+    signature = (_graph_signature(compiled.graph), config_digest(compiled.config))
+    cached = compiled.__dict__.get("_analysis")
+    if cached is not None and cached.signature == signature:
+        return cached
+
+    graph = compiled.graph
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(structure_diagnostics(graph))
+    deadlock_diags = deadlock_diagnostics(graph, compiled.config)
+    diagnostics.extend(deadlock_diags)
+    diagnostics.extend(scratch_race_diagnostics(graph))
+    shard_diags = shard_diagnostics(graph)
+    diagnostics.extend(shard_diags)
+    engine_diags = engine_diagnostics(graph)
+    diagnostics.extend(engine_diags)
+    min_cycles, cp_diag = critical_path_bound(compiled)
+    diagnostics.append(cp_diag)
+
+    shard = _shard_verdict(shard_diags)
+    engine = "event" if any(d.code == "RA041" for d in engine_diags) else "batched"
+    prepass = pure_load_ancestors(graph)
+    result = AnalysisResult(
+        diagnostics=tuple(diagnostics),
+        engine=engine,
+        order_stable=prepass is not None,
+        prepass_nodes=frozenset(prepass) if prepass is not None else None,
+        deadlock=any(d.code in ("RA010", "RA011") for d in deadlock_diags),
+        shard=shard,
+        min_cycles=min_cycles,
+        signature=signature,
+    )
+    compiled.__dict__["_analysis"] = result
+    return result
+
+
+def _shard_verdict(shard_diags: list[Diagnostic]) -> ShardVerdict:
+    verdict = shard_diags[0]  # the pass emits exactly one RA03x diagnostic
+    data = verdict.data
+    if verdict.code == "RA034":
+        return ShardVerdict(
+            windows=tuple(data.get("windows", ())),
+            window_lcm=int(data["window_lcm"]),
+            fallback_code=None,
+            fallback_reason=None,
+        )
+    return ShardVerdict(
+        windows=(),
+        window_lcm=int(data.get("window_lcm", 1)),
+        fallback_code=verdict.code,
+        fallback_reason=verdict.message,
+    )

@@ -1,0 +1,628 @@
+"""The analyzer's kernel-level passes.
+
+Each pass is a pure function from a graph (plus, where needed, the
+system configuration or the compiled mapping) to a list of
+:class:`~repro.analyze.diagnostics.Diagnostic`.  The passes statically
+predict what the simulators decide dynamically, and the dynamic layers
+consume these predictions instead of re-deriving them:
+
+* :func:`deadlock_diagnostics` — what makes the engines raise
+  :class:`~repro.errors.DeadlockError` at run time;
+* :func:`scratch_race_diagnostics` — scratchpad write/write and
+  write/read pairs not ordered by a dependence path or barrier;
+* :func:`shard_diagnostics` — the window-LCM legality facts
+  ``sim/multicore.py::plan_shards`` acts on;
+* :func:`engine_diagnostics` / :func:`pure_load_ancestors` — the
+  batched-engine eligibility and replay-order stability facts
+  ``sim/cycle.py::build_simulator`` and ``sim/batched.py`` act on;
+* :func:`critical_path_bound` — a static lower bound on single-core
+  cycles from unit and routed-edge latencies.
+
+Only graph submodules and the config layer are imported at module scope;
+``repro.sim.cycle`` is imported lazily inside the critical-path pass so
+the analyze package stays importable from ``repro.graph.validate``
+mid-initialisation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analyze.diagnostics import Diagnostic, Severity
+from repro.config.system import SystemConfig
+from repro.graph.dfg import DataflowGraph
+from repro.graph.interthread import communication_windows
+from repro.graph.node import Node
+from repro.graph.opcodes import Opcode
+from repro.graph.semantics import PURE_OPCODES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.compiler.pipeline import CompiledKernel
+
+__all__ = [
+    "critical_path_bound",
+    "deadlock_diagnostics",
+    "engine_diagnostics",
+    "pure_load_ancestors",
+    "scratch_race_diagnostics",
+    "shard_diagnostics",
+]
+
+#: Injected source opcodes (thread-uniform timing, no operands).
+SOURCE_OPCODES = (
+    Opcode.CONST,
+    Opcode.TID_X,
+    Opcode.TID_Y,
+    Opcode.TID_Z,
+    Opcode.TID_LINEAR,
+)
+
+_MEMORY_OPCODES = (
+    Opcode.LOAD,
+    Opcode.STORE,
+    Opcode.SCRATCH_LOAD,
+    Opcode.SCRATCH_STORE,
+    Opcode.ELDST,
+)
+
+
+def _labels(graph: DataflowGraph, node_ids: Iterable[int]) -> tuple[str, ...]:
+    return tuple(graph.node(nid).label() for nid in node_ids)
+
+
+# --------------------------------------------------------------- deadlock pass
+def _strongly_connected_components(
+    nodes: list[int], successors: dict[int, list[int]]
+) -> list[list[int]]:
+    """Iterative Tarjan SCC over the given adjacency."""
+    index: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[list[int]] = []
+    counter = 0
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            nid, child = work[-1]
+            if child == 0:
+                index[nid] = lowlink[nid] = counter
+                counter += 1
+                stack.append(nid)
+                on_stack.add(nid)
+            advanced = False
+            succ = successors.get(nid, [])
+            while child < len(succ):
+                nxt = succ[child]
+                child += 1
+                if nxt not in index:
+                    work[-1] = (nid, child)
+                    work.append((nxt, 0))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[nid] = min(lowlink[nid], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[nid] == index[nid]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == nid:
+                        break
+                components.append(component)
+            if work:
+                parent, _ = work[-1]
+                lowlink[parent] = min(lowlink[parent], lowlink[nid])
+    return components
+
+
+def _has_cycle_with_nonpositive_weight(
+    nodes: list[int], edges: list[tuple[int, int, int]]
+) -> bool:
+    """True if some cycle over ``edges`` has total weight <= 0.
+
+    Weights are integers; scaling each edge to ``w * (n + 1) - 1`` makes
+    "weight <= 0" exactly "scaled weight < 0" for any simple cycle (at
+    most ``n`` edges long), so Bellman-Ford negative-cycle detection
+    answers the question exactly.
+    """
+    scale = len(nodes) + 1
+    dist = {nid: 0 for nid in nodes}
+    for _ in range(len(nodes)):
+        changed = False
+        for src, dst, weight in edges:
+            candidate = dist[src] + weight * scale - 1
+            if candidate < dist[dst]:
+                dist[dst] = candidate
+                changed = True
+        if not changed:
+            return False
+    for src, dst, weight in edges:
+        if dist[src] + weight * scale - 1 < dist[dst]:
+            return True
+    return False
+
+
+def deadlock_diagnostics(graph: DataflowGraph, config: SystemConfig) -> list[Diagnostic]:
+    """Statically predict run-time :class:`DeadlockError` conditions.
+
+    The dependence graph includes temporal edges; an edge into an
+    ELEVATOR with hardware shift ``d`` means the consumer thread ``t``
+    depends on the producer at thread ``t - d``.  A strongly connected
+    component deadlocks when
+
+    * it contains a BARRIER (some thread's arrival waits on the barrier's
+      own release — ``RA011``), or
+    * its cycle shifts are not strictly one-signed: a zero-net-shift
+      cycle, or two cycles shifting in opposite directions, make some
+      thread depend on itself (``RA010``).
+
+    Cyclic-but-live recurrences (all shifts one-signed, e.g. the
+    prefix-sum of Fig. 6) additionally demand token-buffer slots for the
+    ``|shift| + 1`` threads in flight between producer and consumer; a
+    configured buffer smaller than that is flagged ``RA012`` (a hardware
+    capacity hazard — the simulators' buffers are unbounded, so this
+    never deadlocks a simulation).
+    """
+    node_ids = [node.node_id for node in graph.nodes]
+    successors: dict[int, list[int]] = {nid: [] for nid in node_ids}
+    weighted: list[tuple[int, int, int]] = []
+    for edge in graph.edges():
+        dst = graph.node(edge.dst)
+        weight = int(dst.param("delta")) if dst.opcode is Opcode.ELEVATOR else 0
+        successors[edge.src].append(edge.dst)
+        weighted.append((edge.src, edge.dst, weight))
+
+    out: list[Diagnostic] = []
+    for component in _strongly_connected_components(node_ids, successors):
+        members = set(component)
+        if len(component) < 2 and not any(
+            src == dst and src in members for src, dst, _ in weighted
+        ):
+            continue
+        inner = [
+            (src, dst, weight)
+            for src, dst, weight in weighted
+            if src in members and dst in members
+        ]
+        elevators = sorted(
+            nid for nid in members if graph.node(nid).opcode is Opcode.ELEVATOR
+        )
+        barriers = sorted(
+            nid for nid in members if graph.node(nid).opcode is Opcode.BARRIER
+        )
+        provenance = tuple(sorted(members))
+        if barriers:
+            out.append(
+                Diagnostic(
+                    code="RA011",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"barrier {_labels(graph, barriers)[0]} sits inside an "
+                        f"inter-thread dependence cycle of {len(members)} nodes; "
+                        "its release waits on tokens it gates"
+                    ),
+                    nodes=provenance,
+                    labels=_labels(graph, provenance),
+                    hint="break the cycle or move the barrier out of it",
+                )
+            )
+            continue
+        if not elevators:
+            continue  # a non-temporal cycle; the structure pass reports RA005
+        has_nonpositive = _has_cycle_with_nonpositive_weight(component, inner)
+        has_nonnegative = _has_cycle_with_nonpositive_weight(
+            component, [(src, dst, -weight) for src, dst, weight in inner]
+        )
+        if has_nonpositive and has_nonnegative:
+            out.append(
+                Diagnostic(
+                    code="RA010",
+                    severity=Severity.ERROR,
+                    message=(
+                        "inter-thread dependence cycle through "
+                        f"{', '.join(_labels(graph, elevators))} has no consistent "
+                        "thread direction (net shifts cancel); no thread's "
+                        "operands can ever all arrive"
+                    ),
+                    nodes=provenance,
+                    labels=_labels(graph, provenance),
+                    hint="make every elevator in the cycle shift the same direction",
+                )
+            )
+            continue
+        entries = config.token_buffer.entries
+        for nid in elevators:
+            demand = abs(int(graph.node(nid).param("delta"))) + 1
+            if demand > entries:
+                out.append(
+                    Diagnostic(
+                        code="RA012",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"recurrence through {graph.node(nid).label()} keeps "
+                            f"{demand} threads in flight but the token buffer has "
+                            f"only {entries} entr{'y' if entries == 1 else 'ies'}"
+                        ),
+                        nodes=(nid,),
+                        labels=_labels(graph, (nid,)),
+                        hint="raise TokenBufferConfig.entries or shorten the shift",
+                        data={"demand": demand, "entries": entries},
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------- scratch-race pass
+def _reachable(successors: dict[int, list[int]], start: int) -> set[int]:
+    seen: set[int] = set()
+    stack = list(successors.get(start, []))
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        stack.extend(successors.get(nid, []))
+    return seen
+
+
+def scratch_race_diagnostics(graph: DataflowGraph) -> list[Diagnostic]:
+    """Flag scratchpad access pairs with no ordering between them.
+
+    Two static accesses to the same scratch array are *ordered* when a
+    directed dependence path connects them (same-thread ordering, e.g. a
+    ``scratch_load(..., order=...)`` operand chain) — cross-thread
+    visibility additionally requires a BARRIER on that path, which is the
+    idiom the MT kernels use (store -> barrier -> load).  A write/write
+    or write/read pair with no path either way races: which access lands
+    first depends on scheduling, not the program.
+    """
+    scratch_nodes = graph.nodes_with_opcode(Opcode.SCRATCH_LOAD, Opcode.SCRATCH_STORE)
+    if not scratch_nodes:
+        return []
+    successors: dict[int, list[int]] = {n.node_id: [] for n in graph.nodes}
+    for edge in graph.edges():
+        successors[edge.src].append(edge.dst)
+    reach: dict[int, set[int]] = {
+        node.node_id: _reachable(successors, node.node_id) for node in scratch_nodes
+    }
+
+    by_array: dict[str, list[Node]] = {}
+    for node in scratch_nodes:
+        by_array.setdefault(str(node.param("array")), []).append(node)
+
+    def ordered(a: int, b: int) -> bool:
+        return b in reach[a] or a in reach[b]
+
+    out: list[Diagnostic] = []
+    for array, nodes in sorted(by_array.items()):
+        stores = [n for n in nodes if n.opcode is Opcode.SCRATCH_STORE]
+        loads = [n for n in nodes if n.opcode is Opcode.SCRATCH_LOAD]
+        for i, first in enumerate(stores):
+            for second in stores[i + 1 :]:
+                if not ordered(first.node_id, second.node_id):
+                    pair = (first.node_id, second.node_id)
+                    out.append(
+                        Diagnostic(
+                            code="RA020",
+                            severity=Severity.WARNING,
+                            message=(
+                                f"scratch array '{array}' is written by both "
+                                f"{first.label()} and {second.label()} with no "
+                                "ordering between them"
+                            ),
+                            nodes=pair,
+                            labels=_labels(graph, pair),
+                            hint="order the writes through a barrier() token",
+                            data={"array": array},
+                        )
+                    )
+        for store in stores:
+            for load in loads:
+                if not ordered(store.node_id, load.node_id):
+                    pair = (store.node_id, load.node_id)
+                    out.append(
+                        Diagnostic(
+                            code="RA021",
+                            severity=Severity.WARNING,
+                            message=(
+                                f"scratch array '{array}' write {store.label()} is "
+                                f"unordered against read {load.label()}"
+                            ),
+                            nodes=pair,
+                            labels=_labels(graph, pair),
+                            hint=(
+                                "pass a barrier() token as the load's 'order' "
+                                "operand so the read waits for the writes"
+                            ),
+                            data={"array": array},
+                        )
+                    )
+    return out
+
+
+# ----------------------------------------------------------- shardability pass
+def shard_diagnostics(graph: DataflowGraph) -> list[Diagnostic]:
+    """Emit the window-LCM shard-legality facts ``plan_shards`` acts on.
+
+    All findings are INFO: not being shardable is a property, not a
+    defect (the launch transparently runs on one core).  Exactly one of
+    ``RA030``/``RA031``/``RA032``/``RA033``/``RA034`` states the default
+    plan's verdict; the fallback message texts match ``plan_shards`` so
+    ``stats.extra["shard_fallback_reason"]`` stays human-readable.
+    """
+    num_threads = int(graph.metadata.get("num_threads", 0))
+    replicas = int(graph.metadata.get("replicas", 1))
+    windows, reason = communication_windows(graph)
+    out: list[Diagnostic] = []
+    if reason is not None:
+        if "transmission window" in reason:
+            offenders = tuple(
+                node.node_id
+                for node in graph.nodes_with_opcode(Opcode.ELEVATOR, Opcode.ELDST)
+                if node.param("window") is None
+            )
+            out.append(
+                Diagnostic(
+                    code="RA030",
+                    severity=Severity.INFO,
+                    message=reason,
+                    nodes=offenders,
+                    labels=_labels(graph, offenders),
+                    hint="give every ELEVATOR/ELDST a bounded window= to enable sharding",
+                )
+            )
+        else:
+            offenders = tuple(
+                node.node_id
+                for node in graph.nodes_with_opcode(Opcode.BARRIER)
+                if node.param("window") is None
+            )
+            out.append(
+                Diagnostic(
+                    code="RA031",
+                    severity=Severity.INFO,
+                    message=reason,
+                    nodes=offenders,
+                    labels=_labels(graph, offenders),
+                    hint="window the barrier so scratch traffic stays inside a shard",
+                )
+            )
+        return out
+
+    lcm = 1
+    for window in windows:
+        lcm = math.lcm(lcm, window)
+    if windows and lcm >= num_threads:
+        out.append(
+            Diagnostic(
+                code="RA032",
+                severity=Severity.INFO,
+                message=(
+                    f"transmission windows span the whole block "
+                    f"(LCM {lcm} >= {num_threads} threads)"
+                ),
+                data={"window_lcm": lcm, "num_threads": num_threads},
+            )
+        )
+        return out
+    base_block = max(1, replicas)
+    aligned = -(-base_block // lcm) * lcm
+    if aligned >= num_threads:
+        out.append(
+            Diagnostic(
+                code="RA033",
+                severity=Severity.INFO,
+                message=(
+                    f"shard block of {aligned} leaves no work for a second core "
+                    f"({num_threads} threads)"
+                ),
+                data={"block": aligned, "window_lcm": lcm, "num_threads": num_threads},
+            )
+        )
+        return out
+    out.append(
+        Diagnostic(
+            code="RA034",
+            severity=Severity.INFO,
+            message=(
+                f"window-aligned cut is legal: block "
+                f"ceil({base_block}/{lcm})*{lcm} = {aligned} divides the "
+                f"{num_threads}-thread block into whole windows (LCM {lcm})"
+            ),
+            data={
+                "block": aligned,
+                "window_lcm": lcm,
+                "windows": sorted(set(windows)),
+                "num_threads": num_threads,
+            },
+        )
+    )
+    return out
+
+
+# ---------------------------------------------- engine / replay-order pass
+def pure_load_ancestors(graph: DataflowGraph) -> set[int] | None:
+    """Loads plus their transitive ancestors when all ancestors are pure.
+
+    This is the batched engine's replay-order stability condition: when
+    every LOAD node's index computation is pure/source-only, the issue
+    cycle of every load is derivable before any memory access is
+    classified, so the whole wave's load stream can be replayed in the
+    event engine's order.  Returns ``None`` when some load index depends
+    on another memory access — the engine then falls back to per-node
+    replay order.  ``sim/batched.py`` imports this function, so the
+    static verdict and the dynamic behaviour agree by construction.
+    """
+    inputs = {
+        node.node_id: sorted(graph.inputs_of(node.node_id).values())
+        for node in graph.nodes
+    }
+    loads = graph.nodes_with_opcode(Opcode.LOAD)
+    prepass: set[int] = {load.node_id for load in loads}
+    visited: set[int] = set()
+    for load in loads:
+        stack = list(inputs[load.node_id])
+        while stack:
+            nid = stack.pop()
+            if nid in visited:
+                continue
+            node = graph.node(nid)
+            if node.opcode not in PURE_OPCODES and node.opcode not in SOURCE_OPCODES:
+                return None  # a load index depends on a memory access
+            visited.add(nid)
+            stack.extend(inputs[nid])
+    return prepass | visited
+
+
+def engine_diagnostics(graph: DataflowGraph) -> list[Diagnostic]:
+    """Classify the kernel for engine dispatch (all INFO).
+
+    ``RA040`` batched-eligible / ``RA041`` event-only mirrors
+    ``resolve_engine("auto", graph)``; for batched-eligible kernels
+    ``RA043``/``RA042`` states whether the analytic cache model keeps the
+    event engine's replay order or degrades to per-node replay.
+    """
+    out: list[Diagnostic] = []
+    interthread = tuple(
+        node.node_id
+        for node in graph.nodes_with_opcode(Opcode.ELEVATOR, Opcode.ELDST, Opcode.BARRIER)
+    )
+    if interthread:
+        out.append(
+            Diagnostic(
+                code="RA041",
+                severity=Severity.INFO,
+                message=(
+                    f"{len(interthread)} inter-thread node(s) require the "
+                    "event-driven engine"
+                ),
+                nodes=interthread,
+                labels=_labels(graph, interthread),
+            )
+        )
+        return out
+    out.append(
+        Diagnostic(
+            code="RA040",
+            severity=Severity.INFO,
+            message="no inter-thread nodes; eligible for the wave-batched engine",
+        )
+    )
+    prepass = pure_load_ancestors(graph)
+    if prepass is None:
+        impure = tuple(
+            load.node_id
+            for load in graph.nodes_with_opcode(Opcode.LOAD)
+            if _index_touches_memory(graph, load)
+        )
+        out.append(
+            Diagnostic(
+                code="RA042",
+                severity=Severity.INFO,
+                message=(
+                    "a load index depends on another memory access; the batched "
+                    "engine replays loads per node instead of in event order"
+                ),
+                nodes=impure,
+                labels=_labels(graph, impure),
+            )
+        )
+    else:
+        out.append(
+            Diagnostic(
+                code="RA043",
+                severity=Severity.INFO,
+                message=(
+                    "every load index is pure; the batched engine replays the "
+                    "load stream in the event engine's exact order"
+                ),
+                data={"prepass_nodes": len(prepass)},
+            )
+        )
+    return out
+
+
+def _index_touches_memory(graph: DataflowGraph, load: Node) -> bool:
+    stack = list(graph.inputs_of(load.node_id).values())
+    seen: set[int] = set()
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        if graph.node(nid).opcode in _MEMORY_OPCODES:
+            return True
+        stack.extend(graph.inputs_of(nid).values())
+    return False
+
+
+# ------------------------------------------------------- critical-path pass
+def critical_path_bound(compiled: "CompiledKernel") -> tuple[int, Diagnostic]:
+    """Static lower bound on single-core cycles, with its diagnostic.
+
+    Both engines obey: thread at injection position ``p`` becomes live at
+    ``p // replicas``; a node fires only after all operands arrive
+    (producer completion + routed edge latency) and completes at least
+    one cycle later (memory nodes are floored at one cycle — hierarchy
+    latencies only add).  The last-injected thread must still traverse
+    the longest source-to-sink structural path, so
+
+    ``cycles >= (threads - 1) // replicas + max over sinks of path``
+
+    is a true lower bound for the event and batched engines alike on one
+    core (sharding divides the injection term across cores).
+    """
+    from repro.sim.cycle import edge_timing, unit_latency
+
+    graph = compiled.graph
+    edge_latency, _ = edge_timing(compiled)
+    config = compiled.config
+
+    def node_latency(node: Node) -> int:
+        if node.opcode in _MEMORY_OPCODES:
+            return 1  # hierarchy access latency is >= 1 cycle; exact value varies
+        return unit_latency(config, node)
+
+    # A thread retires when its effect nodes complete (the engines' sink
+    # set: STORE/SCRATCH_STORE/OUTPUT) — not on Node.is_sink, since a
+    # STORE still produces an ack token.
+    effect_opcodes = (Opcode.STORE, Opcode.SCRATCH_STORE, Opcode.OUTPUT)
+    completion: dict[int, int] = {}
+    longest_sink_path = 0
+    for node in graph.topological_order(ignore_temporal=True):
+        ready = 0
+        if node.opcode is not Opcode.ELEVATOR:  # edges into elevators are temporal
+            for src in graph.inputs_of(node.node_id).values():
+                ready = max(
+                    ready, completion[src] + edge_latency[(src, node.node_id)]
+                )
+        completion[node.node_id] = ready + node_latency(node)
+        if node.opcode in effect_opcodes:
+            longest_sink_path = max(longest_sink_path, completion[node.node_id])
+
+    replicas = max(1, compiled.replicas)
+    injection = (max(1, compiled.num_threads) - 1) // replicas
+    bound = injection + longest_sink_path
+    diagnostic = Diagnostic(
+        code="RA050",
+        severity=Severity.INFO,
+        message=(
+            f"single-core cycles >= {bound} "
+            f"(injection {injection} + critical path {longest_sink_path})"
+        ),
+        data={
+            "min_cycles": bound,
+            "injection": injection,
+            "critical_path": longest_sink_path,
+            "replicas": replicas,
+        },
+    )
+    return bound, diagnostic

@@ -9,6 +9,7 @@ The output, a :class:`CompiledKernel`, is what both simulators consume.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -22,6 +23,7 @@ from repro.compiler.passes.dce import DeadCodeEliminationPass
 from repro.compiler.passes.eldst_buffer import EldstBufferPass
 from repro.compiler.passes.replicate import ReplicatePass
 from repro.config.system import SystemConfig, default_system_config
+from repro.errors import CompilationError
 from repro.graph.dfg import DataflowGraph
 from repro.graph.opcodes import Opcode
 from repro.graph.validate import validate_graph
@@ -37,6 +39,12 @@ class CompilerOptions:
     map_to_grid: bool = True
     anneal_iterations: int = 1500
     seed: int = 0xC6A4
+    #: Static-analyzer strictness: ``"warn"`` (default) runs the analyzer
+    #: after compilation, caches the result on the kernel and surfaces
+    #: error-severity findings as Python warnings; ``"strict"`` raises
+    #: :class:`~repro.errors.CompilationError` on any error or warning
+    #: diagnostic; ``"off"`` skips analysis entirely.
+    analyze: str = "warn"
 
 
 @dataclass
@@ -142,6 +150,31 @@ def compile_kernel(
         )
         mapping = route_placement(placement, config.noc)
 
-    return CompiledKernel(
+    compiled = CompiledKernel(
         graph=working, config=config, pass_results=results, mapping=mapping
     )
+
+    if options.analyze not in ("off", "warn", "strict"):
+        raise CompilationError(
+            f"unknown analyze mode '{options.analyze}'; expected 'off', 'warn' or 'strict'"
+        )
+    if options.analyze != "off":
+        # Deferred import: the analyzer's critical-path pass reaches into
+        # the sim layer, which itself imports this module.
+        from repro.analyze.manager import analyze_kernel
+
+        analysis = analyze_kernel(compiled)
+        if options.analyze == "strict" and not analysis.ok:
+            findings = "\n  - ".join(
+                d.format() for d in analysis.errors() + analysis.warnings()
+            )
+            raise CompilationError(
+                f"kernel '{compiled.name}' failed strict static analysis:\n"
+                f"  - {findings}"
+            )
+        for diagnostic in analysis.errors():
+            warnings.warn(
+                f"static analysis of kernel '{compiled.name}': {diagnostic.format()}",
+                stacklevel=2,
+            )
+    return compiled

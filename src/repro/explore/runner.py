@@ -8,6 +8,14 @@ picklable payloads and return plain records; a point that fails (bad
 parameters, deadlock, ...) produces an ``"error"`` record instead of
 aborting the campaign.  Every completed record is appended to the cache
 immediately, so an interrupted campaign resumes for free.
+
+Each successful record carries the static analyzer's output alongside
+the measured counters: ``result["diagnostics"]`` holds the ``RA0xx``
+findings for the compiled kernel and
+``result["counters"]["static_min_cycles"]`` the critical-path lower
+bound, so campaign post-processing can split sharded from fallback runs
+(``RA03x``) or compare measured cycles against the static bound without
+re-compiling anything.
 """
 
 from __future__ import annotations

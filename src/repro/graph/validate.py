@@ -4,112 +4,40 @@ Validation is run by the compiler pipeline before mapping; it rejects
 graphs that cannot be configured onto the CGRA: missing operands,
 non-temporal cycles, malformed elevator/eLDST parameters, sinks driving
 consumers and similar structural mistakes.
+
+The checks themselves live in the analyzer's structure pass
+(:mod:`repro.analyze.structure`), which reports each problem as a
+:class:`~repro.analyze.diagnostics.Diagnostic` with a stable ``RA00x``
+code and node provenance.  This module keeps the historical string-based
+surface: :func:`validation_issues` returns the diagnostics' messages
+verbatim, and :func:`validate_graph` raises with the same wording it
+always has.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+from repro.analyze.structure import structure_diagnostics
 from repro.errors import GraphValidationError
 from repro.graph.dfg import DataflowGraph
-from repro.graph.node import Node
-from repro.graph.opcodes import DType, Opcode, opcode_info
 
-__all__ = ["validate_graph", "validation_issues"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analyze.diagnostics import Diagnostic
 
-
-def _check_arity(graph: DataflowGraph, node: Node, issues: list[str]) -> None:
-    info = opcode_info(node.opcode)
-    arity = graph.arity_of(node.node_id)
-    if not info.accepts_arity(arity):
-        issues.append(
-            f"{node.label()}: has {arity} operands, expected between "
-            f"{info.min_arity} and {info.max_arity}"
-        )
-    ports = sorted(graph.inputs_of(node.node_id))
-    if ports and ports != list(range(len(ports))):
-        issues.append(f"{node.label()}: operand ports {ports} are not contiguous from 0")
-
-
-def _check_params(node: Node, issues: list[str]) -> None:
-    if node.opcode is Opcode.CONST and "value" not in node.params:
-        issues.append(f"{node.label()}: CONST node is missing its 'value' parameter")
-    if node.opcode is Opcode.ELEVATOR:
-        delta = node.param("delta")
-        if not isinstance(delta, int) or delta == 0:
-            issues.append(f"{node.label()}: ELEVATOR delta must be a non-zero integer")
-        if "const" not in node.params:
-            issues.append(f"{node.label()}: ELEVATOR is missing its fallback constant")
-        window = node.param("window")
-        if window is not None and (not isinstance(window, int) or window <= 0):
-            issues.append(f"{node.label()}: ELEVATOR window must be a positive integer")
-    if node.opcode is Opcode.BARRIER:
-        window = node.param("window")
-        if window is not None and (not isinstance(window, int) or window <= 0):
-            issues.append(f"{node.label()}: BARRIER window must be a positive integer")
-    if node.opcode is Opcode.ELDST:
-        delta = node.param("delta")
-        if not isinstance(delta, int) or delta <= 0:
-            issues.append(f"{node.label()}: ELDST delta must be a positive integer")
-        if not node.param("array"):
-            issues.append(f"{node.label()}: ELDST is missing its 'array' parameter")
-        window = node.param("window")
-        if window is not None and (not isinstance(window, int) or window <= 0):
-            issues.append(f"{node.label()}: ELDST window must be a positive integer")
-    if node.opcode in (Opcode.LOAD, Opcode.STORE, Opcode.ELDST):
-        if not node.param("array"):
-            issues.append(f"{node.label()}: memory node is missing its 'array' parameter")
-    if node.opcode in (Opcode.SCRATCH_LOAD, Opcode.SCRATCH_STORE):
-        if not node.param("array"):
-            issues.append(
-                f"{node.label()}: scratchpad node is missing its 'array' parameter"
-            )
-    if node.opcode is Opcode.OUTPUT and not node.param("name"):
-        issues.append(f"{node.label()}: OUTPUT node is missing its 'name' parameter")
-
-
-def _check_dtypes(graph: DataflowGraph, node: Node, issues: list[str]) -> None:
-    if node.opcode in (Opcode.LT, Opcode.LE, Opcode.GT, Opcode.GE, Opcode.EQ, Opcode.NE):
-        if node.dtype is not DType.BOOL:
-            issues.append(f"{node.label()}: comparison nodes must produce BOOL")
-    if node.opcode is Opcode.SELECT:
-        inputs = graph.inputs_of(node.node_id)
-        if 0 in inputs and graph.node(inputs[0]).dtype is not DType.BOOL:
-            issues.append(f"{node.label()}: SELECT condition operand must be BOOL")
+__all__ = ["structure_diagnostics", "validate_graph", "validation_issues"]
 
 
 def validation_issues(graph: DataflowGraph) -> list[str]:
     """Return a list of human-readable validation problems (empty if valid)."""
-    issues: list[str] = []
-    for node in graph.nodes:
-        _check_arity(graph, node, issues)
-        _check_params(node, issues)
-        _check_dtypes(graph, node, issues)
-
-    # Sinks must not feed anyone; already enforced by add_edge, re-check defensively.
-    for node in graph.nodes:
-        if node.is_sink and graph.successors(node.node_id):
-            issues.append(f"{node.label()}: sink node drives downstream consumers")
-
-    # The graph must be acyclic once temporal edges are removed.
-    try:
-        graph.topological_order(ignore_temporal=True)
-    except Exception as exc:  # GraphError
-        issues.append(str(exc))
-
-    # A kernel must observably do something.
-    has_effect = any(
-        n.opcode in (Opcode.STORE, Opcode.SCRATCH_STORE, Opcode.OUTPUT)
-        for n in graph.nodes
-    )
-    if graph.nodes and not has_effect:
-        issues.append("graph has no STORE or OUTPUT node; kernel has no visible effect")
-    return issues
+    return [diagnostic.message for diagnostic in structure_diagnostics(graph)]
 
 
 def validate_graph(graph: DataflowGraph) -> None:
     """Raise :class:`GraphValidationError` listing every structural problem."""
-    issues = validation_issues(graph)
-    if issues:
-        joined = "\n  - ".join(issues)
+    diagnostics: "list[Diagnostic]" = structure_diagnostics(graph)
+    if diagnostics:
+        joined = "\n  - ".join(d.message for d in diagnostics)
         raise GraphValidationError(
             f"dataflow graph '{graph.name}' failed validation:\n  - {joined}"
         )

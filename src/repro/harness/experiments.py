@@ -16,6 +16,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.analysis.comparison import ArchitectureComparison, ComparisonTable
+from repro.analyze.manager import analyze_kernel
 from repro.compiler.pipeline import CompiledKernel, CompilerOptions, compile_kernel
 from repro.config.system import SystemConfig, default_system_config
 from repro.errors import WorkloadError
@@ -54,6 +55,9 @@ class RunResult:
     outputs: dict[str, np.ndarray]
     compiled: CompiledKernel | None = None
     params: dict[str, Any] = field(default_factory=dict)
+    #: Static-analyzer findings for the compiled kernel (plain
+    #: ``Diagnostic.to_dict`` form; empty for the Fermi baseline).
+    diagnostics: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def energy_pj(self) -> float:
@@ -81,6 +85,7 @@ class RunResult:
             "energy_pj": float(self.energy.total_pj),
             "energy": {k: float(v) for k, v in self.energy.components.items()},
             "params": {k: _plain_scalar(v) for k, v in self.params.items()},
+            "diagnostics": list(self.diagnostics),
         }
 
 
@@ -138,11 +143,17 @@ def run_workload(
         outputs = _outputs_from_memory(prepared, result.memory)
         compiled = None
         cycles = result.cycles
+        diagnostics = []
     else:
         launch = prepared.launch(architecture)
         compiled = compile_kernel(launch.graph, config, compiler_options)
         result = run_sharded(compiled, launch, engine=engine, cores=cores)
         counters = result.counters()
+        # Report the static critical-path lower bound next to the measured
+        # cycle count (cached on the kernel by the compile-time analysis).
+        analysis = analyze_kernel(compiled)
+        counters["static_min_cycles"] = analysis.min_cycles
+        diagnostics = [d.to_dict() for d in analysis.diagnostics]
         energy = cgra_energy(
             counters,
             config,
@@ -168,6 +179,7 @@ def run_workload(
         # The seed is part of the run's identity (it generated the input
         # data), so it travels with the parameters.
         params={**prepared.params, "seed": prepared.seed},
+        diagnostics=diagnostics,
     )
 
 

@@ -82,6 +82,9 @@ from typing import Any, NamedTuple, Sequence
 
 import numpy as np
 
+# SOURCE_OPCODES is shared with the analyzer's replay-order pass so the
+# static RA042/RA043 verdict and the engine's prepass decision agree.
+from repro.analyze.passes import SOURCE_OPCODES as _SOURCE_OPCODES
 from repro.compiler.pipeline import CompiledKernel
 from repro.config.system import SystemConfig
 from repro.errors import DeadlockError, MemoryModelError, SimulationError
@@ -102,13 +105,6 @@ __all__ = ["BatchedSimulator", "run_batched"]
 _NP_DTYPE = {DType.F32: np.float64, DType.I32: np.int64, DType.BOOL: np.bool_}
 _U32_MASK = 0xFFFFFFFF
 
-_SOURCE_OPCODES = (
-    Opcode.CONST,
-    Opcode.TID_X,
-    Opcode.TID_Y,
-    Opcode.TID_Z,
-    Opcode.TID_LINEAR,
-)
 
 
 class _StaticTables(NamedTuple):
@@ -415,27 +411,17 @@ class BatchedSimulator:
     def _pure_load_ancestors(self) -> "set[int] | None":
         """Nodes to pre-evaluate so every load's issue cycle is known early.
 
-        Returns the union of every LOAD node and its transitive ancestors
-        when those ancestors are all pure/source nodes (their timing is
-        thread-uniform, so load replay order is derivable before any
-        memory access is classified), or ``None`` when some load index
-        depends on another memory access — the engine then falls back to
-        per-node replay order.
+        Delegates to the static analyzer's replay-order pass
+        (:func:`repro.analyze.passes.pure_load_ancestors`) so the
+        ``RA042``/``RA043`` verdict and the engine's dynamic decision
+        agree by construction: the union of every LOAD node and its
+        transitive ancestors when those ancestors are all pure/source
+        nodes, or ``None`` when some load index depends on another memory
+        access — the engine then falls back to per-node replay order.
         """
-        prepass: set[int] = {load.node_id for load in self._load_nodes}
-        visited: set[int] = set()
-        for load in self._load_nodes:
-            stack = [src for _, src in self._inputs[load.node_id]]
-            while stack:
-                nid = stack.pop()
-                if nid in visited:
-                    continue
-                node = self.graph.node(nid)
-                if node.opcode not in PURE_OPCODES and node.opcode not in _SOURCE_OPCODES:
-                    return None  # a load index depends on a memory access
-                visited.add(nid)
-                stack.extend(src for _, src in self._inputs[nid])
-        return prepass | visited
+        from repro.analyze.passes import pure_load_ancestors
+
+        return pure_load_ancestors(self.graph)
 
     def _event_order_keys(self) -> dict[int, tuple[np.ndarray, np.ndarray]]:
         """Per-load-node key vectors reproducing the event engine's order.

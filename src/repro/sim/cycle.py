@@ -622,8 +622,17 @@ def build_simulator(
     event engine models the contention exactly through the shared bank
     state, while the batched engine folds it into its analytic DRAM
     queueing model.
+
+    ``"auto"`` consumes the static analyzer's engine verdict
+    (``RA040``/``RA041``, cached on the kernel) rather than re-probing the
+    graph; :func:`resolve_engine` remains the definition both agree on.
     """
-    resolved = resolve_engine(engine, compiled.graph)
+    if engine == "auto":
+        from repro.analyze.manager import analyze_kernel
+
+        resolved = analyze_kernel(compiled).engine
+    else:
+        resolved = resolve_engine(engine, compiled.graph)
     if resolved == "batched":
         from repro.sim.batched import BatchedSimulator
 

@@ -34,15 +34,14 @@ run concurrently — and volume counters the sum).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
+from repro.analyze.manager import analyze_kernel
 from repro.compiler.pipeline import CompiledKernel
 from repro.errors import SimulationError
-from repro.graph.interthread import communication_windows
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.image import MemoryImage
 from repro.memory.shared_dram import SharedDRAM
@@ -110,14 +109,19 @@ class ShardPlan:
     block: int
     window_lcm: int
     fallback_reason: str | None = None
+    #: Stable analyzer diagnostic code naming the fallback class
+    #: (``RA030``/``RA031``/``RA032``/``RA033``); ``None`` when sharded.
+    fallback_code: str | None = None
 
     @property
     def sharded(self) -> bool:
         return self.cores > 1 and self.fallback_reason is None
 
 
-def _fallback(block: int, reason: str) -> ShardPlan:
-    return ShardPlan(cores=1, block=block, window_lcm=1, fallback_reason=reason)
+def _fallback(block: int, reason: str, code: str) -> ShardPlan:
+    return ShardPlan(
+        cores=1, block=block, window_lcm=1, fallback_reason=reason, fallback_code=code
+    )
 
 
 def plan_shards(
@@ -131,6 +135,10 @@ def plan_shards(
     of the windows' least common multiple.  BARRIER nodes contribute
     their ``window`` if they have one; an un-windowed barrier is legal
     per-shard only when the graph moves no data through the scratchpad.
+
+    The legality facts come from the static analyzer's shardability
+    verdict (cached on the kernel); only the block-size arithmetic, which
+    depends on the caller's ``block``, is evaluated here.
     """
     config = compiled.config
     cores = config.cores if cores is None else int(cores)
@@ -143,25 +151,20 @@ def plan_shards(
         return ShardPlan(cores=1, block=base_block, window_lcm=1)
 
     num_threads = compiled.num_threads
-    windows, reason = communication_windows(compiled.graph)
-    if reason is not None:
-        return _fallback(base_block, reason)
+    verdict = analyze_kernel(compiled).shard
+    if verdict.fallback_code in ("RA030", "RA031", "RA032"):
+        # Block-size independent: no legal cut exists for any block.
+        assert verdict.fallback_reason is not None
+        return _fallback(base_block, verdict.fallback_reason, verdict.fallback_code)
 
-    lcm = 1
-    for window in windows:
-        lcm = math.lcm(lcm, window)
-    if windows and lcm >= num_threads:
-        return _fallback(
-            base_block,
-            f"transmission windows span the whole block "
-            f"(LCM {lcm} >= {num_threads} threads)",
-        )
+    lcm = verdict.window_lcm
     aligned = -(-base_block // lcm) * lcm
     if aligned >= num_threads:
         return _fallback(
             aligned,
             f"shard block of {aligned} leaves no work for a second core "
             f"({num_threads} threads)",
+            "RA033",
         )
     return ShardPlan(cores=cores, block=aligned, window_lcm=lcm)
 
@@ -285,9 +288,10 @@ def run_sharded(
     transmission windows are sharded block-cyclically across ``cores``
     (default ``SystemConfig.cores``) with shard boundaries aligned to the
     LCM of the windows; kernels that admit no legal cut fall back to a
-    single core with the reason recorded in
-    ``stats.extra["shard_fallback_reason"]``, so benchmark sweeps can
-    tell sharded runs from fallback runs.  The ``engine`` request is
+    single core with the human-readable reason recorded in
+    ``stats.extra["shard_fallback_reason"]`` and the analyzer's stable
+    diagnostic code in ``stats.extra["shard_fallback_code"]``, so
+    benchmark sweeps can tell sharded runs from fallback runs.  The ``engine`` request is
     best-effort in the same way: forcing ``"batched"`` applies it
     wherever the graph is legal for it and quietly uses the event engine
     for communicating kernels, so suite-wide sweeps (``--engine
@@ -303,6 +307,7 @@ def run_sharded(
         )
         if cores > 1 and plan.fallback_reason is not None:
             result.stats.extra["shard_fallback_reason"] = plan.fallback_reason
+            result.stats.extra["shard_fallback_code"] = plan.fallback_code
         return result
     return run_multicore(
         compiled,

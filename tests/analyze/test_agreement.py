@@ -1,0 +1,116 @@
+"""Static verdicts agree with dynamic behavior across the whole registry.
+
+Acceptance contract of the analyzer (see ROADMAP "Kernel static
+analysis"): for every registry workload x available graph variant,
+
+* the engine-eligibility verdict matches what ``engine="auto"`` dispatch
+  actually constructs;
+* the replay-order verdict matches the batched engine's prepass decision;
+* the shardability verdict and code match ``plan_shards``'s actual
+  shard-or-fallback decision;
+* the deadlock pass flags (only) kernels that raise ``DeadlockError`` —
+  every registry kernel is deadlock-free and runs to completion, while
+  the canonical opposing-elevator kernel is flagged AND deadlocks;
+* the critical-path bound is a true lower bound on measured single-core
+  cycles.
+"""
+
+import pytest
+
+from repro.analyze import analyze_kernel
+from repro.compiler.pipeline import compile_kernel
+from repro.errors import DeadlockError
+from repro.kernel.builder import KernelBuilder
+from repro.sim.cycle import CycleSimulator, resolve_engine, run_cycle_accurate
+from repro.sim.launch import KernelLaunch
+from repro.sim.multicore import plan_shards
+from repro.workloads.registry import all_workloads
+
+#: Small problem sizes so the sweep stays in the fast lane.
+SMALL_PARAMS = {
+    "scan": {"n": 32},
+    "matrixMul": {"dim": 4},
+    "convolution": {"n": 32, "k0": 0.25, "k1": 0.5, "k2": 0.25},
+    "reduce": {"n": 32, "window": 8},
+    "lud": {"dim": 6},
+    "bpnn": {"n_in": 8, "n_out": 8},
+    "hotspot": {"dim": 8},
+    "pathfinder": {"cols": 32, "rows": 3},
+    "srad": {"dim": 8},
+}
+
+
+def _variant_graphs(workload):
+    params = workload.params_with_defaults(SMALL_PARAMS.get(workload.name))
+    yield "mt", workload.build_mt(params)
+    yield "dmt", workload.build_dmt(params)
+    if workload.has_windowed_variant():
+        yield "dmt_win", workload.build_dmt_windowed(params)
+    if workload.has_stream_variant():
+        yield "stream", workload.build_stream(params)
+
+
+def _registry_cases():
+    for workload in all_workloads():
+        for variant, graph in _variant_graphs(workload):
+            yield pytest.param(workload, variant, graph, id=f"{workload.name}-{variant}")
+
+
+CASES = list(_registry_cases())
+
+
+@pytest.mark.parametrize("workload,variant,graph", CASES)
+def test_registry_kernel_analyzes_clean(workload, variant, graph):
+    """Every shipped workload x variant carries no error/warning findings."""
+    result = analyze_kernel(compile_kernel(graph))
+    assert result.ok, [d.format() for d in result.errors() + result.warnings()]
+    assert not result.deadlock
+
+
+@pytest.mark.parametrize("workload,variant,graph", CASES)
+def test_static_verdicts_match_dynamic_dispatch(workload, variant, graph):
+    compiled = compile_kernel(graph)
+    result = analyze_kernel(compiled)
+
+    # Engine eligibility: the static verdict IS the auto dispatch.
+    assert result.engine == resolve_engine("auto", compiled.graph)
+    prepared = workload.prepare(workload.params_with_defaults(SMALL_PARAMS.get(workload.name)))
+    launch = prepared.launch(variant)
+    from repro.sim.cycle import build_simulator
+
+    simulator = build_simulator(compiled, launch, engine="auto")
+    engine_name = type(simulator).__name__
+    assert (result.engine == "batched") == (engine_name == "BatchedSimulator")
+
+    # Replay-order stability: the batched engine's prepass decision.
+    if result.engine == "batched":
+        assert simulator._ordered_loads == result.order_stable
+
+    # Shardability: verdict and code match the planner's actual decision.
+    plan = plan_shards(compiled, cores=4)
+    assert plan.sharded == result.shard.shardable
+    assert plan.fallback_code == result.shard.fallback_code
+    if plan.sharded:
+        assert plan.window_lcm == result.shard.window_lcm
+
+    # No deadlock statically predicted; the kernel must run to completion
+    # and the measured cycles must respect the static lower bound.
+    run = run_cycle_accurate(compiled, launch)
+    assert run.cycles >= result.min_cycles
+
+
+def test_deadlock_pass_flags_exactly_the_deadlocking_kernel():
+    n = 4
+    b = KernelBuilder("deadlock", n)
+    b.global_array("out", n)
+    tid = b.thread_idx_x()
+    fwd = b.from_thread_or_const("y", +1, 0.0)
+    bwd = b.from_thread_or_const("y", -1, 0.0)
+    val = fwd + bwd
+    b.tag_value("y", val)
+    b.store("out", tid, val)
+    graph = b.finish()
+    compiled = compile_kernel(graph)
+    assert analyze_kernel(compiled).deadlock  # statically flagged...
+    with pytest.raises(DeadlockError):  # ...and it really deadlocks
+        CycleSimulator(compiled, KernelLaunch(graph, {}), max_cycles=50_000).run()

@@ -79,6 +79,7 @@ def test_plan_requires_bounded_windows(scan_launch):
     plan = plan_shards(compiled, cores=4)
     assert not plan.sharded
     assert "no bounded transmission window" in plan.fallback_reason
+    assert plan.fallback_code == "RA030"
 
 
 def test_plan_aligns_block_to_window_lcm():
@@ -107,6 +108,7 @@ def test_plan_falls_back_when_window_spans_the_block():
     plan = plan_shards(compiled, cores=4)
     assert not plan.sharded
     assert "span the whole block" in plan.fallback_reason
+    assert plan.fallback_code == "RA032"
 
 
 def test_plan_single_core_never_reports_fallback():
@@ -114,6 +116,7 @@ def test_plan_single_core_never_reports_fallback():
     compiled = compile_kernel(launch.graph)
     plan = plan_shards(compiled, cores=1)
     assert plan.fallback_reason is None
+    assert plan.fallback_code is None
     assert not plan.sharded
 
 
@@ -196,6 +199,7 @@ def test_matmul_full_dmt_still_falls_back():
     compiled = compile_kernel(prepared.launch("dmt").graph)
     result = run_sharded(compiled, prepared.launch("dmt"), cores=4)
     assert "shard_fallback_reason" in result.stats.extra
+    assert result.stats.extra["shard_fallback_code"] == "RA030"
     prepared.check_outputs({"c": result.array("c")})
 
 
@@ -229,6 +233,7 @@ def test_scratch_coupled_barrier_falls_back():
     compiled = compile_kernel(prepared.launch("mt").graph)
     result = run_sharded(compiled, prepared.launch("mt"), cores=4)
     assert "scratchpad" in result.stats.extra["shard_fallback_reason"]
+    assert result.stats.extra["shard_fallback_code"] == "RA031"
     prepared.check_outputs({"partials": result.array("partials")})
 
 
@@ -251,9 +256,11 @@ def test_run_sharded_records_fallback_reason(scan_launch):
     compiled = compile_kernel(launch.graph)
     result = run_sharded(compiled, launch, cores=4)
     assert "no bounded transmission window" in result.stats.extra["shard_fallback_reason"]
+    assert result.stats.extra["shard_fallback_code"] == "RA030"
     np.testing.assert_allclose(result.array("prefix"), np.cumsum(data))
     # The reason string must survive the counters() merge for benchmarks.
     assert "shard_fallback_reason" in result.counters()
+    assert result.counters()["shard_fallback_code"] == "RA030"
 
 
 # ------------------------------------------------------------------- harness
@@ -263,3 +270,4 @@ def test_harness_runs_windowed_variant_on_four_cores():
     result_win = run_workload("matrixMul", "dmt_win", params={"dim": 8}, cores=4)
     assert result_win.counters["sharded_cores"] == 4
     assert "shard_fallback_reason" not in result_win.counters
+    assert "shard_fallback_code" not in result_win.counters
