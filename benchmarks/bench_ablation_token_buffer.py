@@ -12,7 +12,7 @@ import numpy as np
 from repro.compiler.pipeline import compile_kernel
 from repro.config.system import SystemConfig, TokenBufferConfig
 from repro.kernel.builder import KernelBuilder
-from repro.sim.cycle import run_cycle_accurate
+from repro.sim import simulate
 from repro.sim.launch import KernelLaunch
 
 _DISTANCE = 48
@@ -40,7 +40,7 @@ def _sweep():
         compiled = compile_kernel(graph, config)
         elevators = len(compiled.elevator_nodes())
         launch = KernelLaunch(graph, {"in_data": data})
-        result = run_cycle_accurate(compiled, launch)
+        result = simulate(compiled, launch)
         rows.append((entries, elevators, result.cycles))
     return rows
 

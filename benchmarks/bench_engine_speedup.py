@@ -1,13 +1,17 @@
-"""Wall-clock speedup of the wave-batched engine over the event engine.
+"""Wall-clock speedup of the batched engines over the event engine.
 
 The event-driven simulator schedules one heap event per token per edge;
 the batched engine evaluates each static node once per injection wave
 over a NumPy vector of thread IDs and classifies each wave's whole
 memory stream through the vectorised per-set tag walk of
-``sim/analytic_cache.py``.  On the inter-thread-free streaming variants
-of matmul / convolution / reduce at 4k+ threads the batched engine must
-be at least 60x faster wall-clock, with bit-identical outputs and
-identical operation counters.
+``sim/analytic_cache.py``.  The window-batched engine extends the same
+machinery to feed-forward communicating kernels: ELEVATOR/ELDST traffic
+resolves as vector gathers and BARRIER groups as segmented reductions.
+On the inter-thread-free streaming variants of matmul / convolution /
+reduce at 4k+ threads the batched engine must be at least 60x faster
+wall-clock; on the communicating matmul ``dmt``/``dmt_win`` variants the
+window-batched engine must be at least 30x faster — always with
+bit-identical outputs and identical operation counters.
 
 Measurement protocol: the batched engine is warmed once (NumPy buffer
 pools, the cached static analysis of the compiled kernel) and then timed
@@ -43,94 +47,120 @@ if __package__ in (None, ""):
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 from benchmarks.common import add_json_option, write_json
 from repro.compiler.pipeline import compile_kernel
-from repro.sim.cycle import run_cycle_accurate
+from repro.sim import simulate
 from repro.workloads.registry import get_workload
 
-#: (workload, params, output array) — all sizes give >= 4096 threads.
+#: Full-size acceptance bars.  The streaming variants ride the pure wave
+#: pipeline (>= 60x); the communicating variants pay for the inter-thread
+#: gather/reduction tables and the window-group wave (>= 30x).
+MIN_SPEEDUP_STREAM = 60.0
+MIN_SPEEDUP_WINDOW = 30.0
+
+#: (workload, variant, params, output array, expected engine, full-size
+#: bar) — all sizes give >= 4096 threads.
 CASES = (
-    ("matrixMul", {"dim": 64}, "c"),
-    ("convolution", {"n": 4096}, "out"),
-    ("reduce", {"n": 4096, "window": 32}, "partials"),
+    ("matrixMul", "stream", {"dim": 64}, "c", "batched", MIN_SPEEDUP_STREAM),
+    ("convolution", "stream", {"n": 4096}, "out", "batched", MIN_SPEEDUP_STREAM),
+    ("reduce", "stream", {"n": 4096, "window": 32}, "partials", "batched", MIN_SPEEDUP_STREAM),
+    ("matrixMul", "dmt", {"dim": 64}, "c", "window-batched", MIN_SPEEDUP_WINDOW),
+    ("matrixMul", "dmt_win", {"dim": 64}, "c", "window-batched", MIN_SPEEDUP_WINDOW),
 )
 
 #: Counters that must be exactly equal between the two engines.
 COMPARED_COUNTERS = ("alu_ops", "fpu_ops", "global_loads", "global_stores")
 
-#: Full-size acceptance bar: the vectorised per-set tag walk restored the
-#: batched engine to event-exact memory counters at >= 60x wall clock.
-MIN_SPEEDUP = 60.0
-
 #: Gate applied by the reduced-thread CI sanity run: at small thread
 #: counts the event engine is cheap and NumPy overheads dominate, so the
-#: bar is only that the batched engine is not slower while still being
+#: bar is only that the batched engines are not slower while still being
 #: bit-identical with equal operation counters.
 MIN_SPEEDUP_SANITY = 1.0
 
 
-def cases_for_threads(threads: int) -> tuple[tuple[str, dict, str], ...]:
-    """The three streaming cases scaled to roughly ``threads`` threads."""
+def cases_for_threads(threads: int) -> tuple[tuple[str, str, dict, str, str, float], ...]:
+    """The five cases scaled to roughly ``threads`` threads."""
     dim = max(2, int(round(threads ** 0.5)))
     window = min(32, threads)
     reduce_n = -(-threads // window) * window  # multiple of the window
     return (
-        ("matrixMul", {"dim": dim}, "c"),
-        ("convolution", {"n": threads}, "out"),
-        ("reduce", {"n": reduce_n, "window": window}, "partials"),
+        ("matrixMul", "stream", {"dim": dim}, "c", "batched", MIN_SPEEDUP_STREAM),
+        ("convolution", "stream", {"n": threads}, "out", "batched", MIN_SPEEDUP_STREAM),
+        (
+            "reduce",
+            "stream",
+            {"n": reduce_n, "window": window},
+            "partials",
+            "batched",
+            MIN_SPEEDUP_STREAM,
+        ),
+        ("matrixMul", "dmt", {"dim": dim}, "c", "window-batched", MIN_SPEEDUP_WINDOW),
+        ("matrixMul", "dmt_win", {"dim": dim}, "c", "window-batched", MIN_SPEEDUP_WINDOW),
     )
 
 
-def _run_case(name: str, params: dict, output: str) -> dict:
+def _run_case(
+    name: str, variant: str, params: dict, output: str, expected_engine: str, bar: float
+) -> dict:
     workload = get_workload(name)
     prepared = workload.prepare(params)
-    launch = prepared.launch("stream")
+    launch = prepared.launch(variant)
     compiled = compile_kernel(launch.graph)
 
     # Warm-up, then best-of-two timed batched runs from a collected heap.
-    batched = run_cycle_accurate(compiled, prepared.launch("stream"), engine="batched")
+    batched = simulate(compiled, prepared.launch(variant))
+    assert batched.engine == expected_engine, (
+        f"{name}/{variant}: auto dispatch resolved to '{batched.engine}' "
+        f"(expected '{expected_engine}')"
+    )
     batched_seconds = math.inf
     for _ in range(2):
-        timed_launch = prepared.launch("stream")
+        timed_launch = prepared.launch(variant)
         gc.collect()
         start = time.perf_counter()
-        batched = run_cycle_accurate(compiled, timed_launch, engine="batched")
+        batched = simulate(compiled, timed_launch)
         batched_seconds = min(batched_seconds, time.perf_counter() - start)
 
-    event_launch = prepared.launch("stream")
+    event_launch = prepared.launch(variant)
     gc.collect()
     start = time.perf_counter()
-    event = run_cycle_accurate(compiled, event_launch, engine="event")
+    event = simulate(compiled, event_launch, engine="event")
     event_seconds = time.perf_counter() - start
 
     assert np.array_equal(event.array(output), batched.array(output)), (
-        f"{name}: batched outputs are not bit-identical to the event engine"
+        f"{name}/{variant}: batched outputs are not bit-identical to the event engine"
     )
     prepared.check_outputs({output: batched.array(output)})
     event_counters = event.stats.as_dict()
     batched_counters = batched.stats.as_dict()
     for counter in COMPARED_COUNTERS:
         assert event_counters[counter] == batched_counters[counter], (
-            f"{name}: {counter} differs "
+            f"{name}/{variant}: {counter} differs "
             f"(event={event_counters[counter]}, batched={batched_counters[counter]})"
         )
 
     return {
         "workload": name,
+        "variant": variant,
+        "engine": batched.engine,
         "threads": launch.num_threads,
         "event_seconds": event_seconds,
         "batched_seconds": batched_seconds,
         "speedup": event_seconds / batched_seconds,
+        "min_speedup": bar,
     }
 
 
 def _print_table(rows: list[dict]) -> None:
-    header = f"{'workload':<14} {'threads':>8} {'event [s]':>10} {'batched [s]':>12} {'speedup':>8}"
+    header = (
+        f"{'workload':<14} {'variant':<8} {'engine':<15} {'threads':>8} "
+        f"{'event [s]':>10} {'batched [s]':>12} {'speedup':>8}"
+    )
     print("\n" + header)
     print("-" * len(header))
     for row in rows:
         print(
-            f"{row['workload']:<14} {row['threads']:>8} "
-            f"{row['event_seconds']:>10.2f} {row['batched_seconds']:>12.3f} "
-            f"{row['speedup']:>7.1f}x"
+            f"{row['workload']:<14} {row['variant']:<8} {row['engine']:<15} "
+            f"{row['threads']:>8} {row['event_seconds']:>10.2f} "
+            f"{row['batched_seconds']:>12.3f} {row['speedup']:>7.1f}x"
         )
 
 
@@ -140,9 +170,9 @@ def test_engine_speedup_at_4k_threads():
 
     for row in rows:
         assert row["threads"] >= 4096
-        assert row["speedup"] >= MIN_SPEEDUP, (
-            f"{row['workload']}: batched engine only {row['speedup']:.1f}x faster "
-            f"(required >= {MIN_SPEEDUP}x)"
+        assert row["speedup"] >= row["min_speedup"], (
+            f"{row['workload']}/{row['variant']}: {row['engine']} engine only "
+            f"{row['speedup']:.1f}x faster (required >= {row['min_speedup']}x)"
         )
 
 
@@ -160,14 +190,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.threads < 2:
         parser.error("--threads must be >= 2")
 
-    min_speedup = MIN_SPEEDUP if args.threads >= 4096 else MIN_SPEEDUP_SANITY
-    rows = [_run_case(*case) for case in cases_for_threads(args.threads)]
+    sanity = args.threads < 4096
+    rows = [
+        _run_case(name, variant, params, output, engine, MIN_SPEEDUP_SANITY if sanity else bar)
+        for name, variant, params, output, engine, bar in cases_for_threads(args.threads)
+    ]
     _print_table(rows)
     failures = [
-        f"{row['workload']}: batched engine only {row['speedup']:.2f}x faster "
-        f"(required >= {min_speedup}x)"
+        f"{row['workload']}/{row['variant']}: {row['engine']} engine only "
+        f"{row['speedup']:.2f}x faster (required >= {row['min_speedup']}x)"
         for row in rows
-        if row["speedup"] < min_speedup
+        if row["speedup"] < row["min_speedup"]
     ]
     for failure in failures:
         print(f"FAIL: {failure}")
@@ -176,7 +209,7 @@ def main(argv: list[str] | None = None) -> int:
         "engine_speedup",
         rows,
         failures,
-        extra={"threads": args.threads, "min_speedup": min_speedup},
+        extra={"threads": args.threads},
     )
     return 1 if failures else 0
 

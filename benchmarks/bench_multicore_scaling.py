@@ -26,7 +26,7 @@ if __package__ in (None, ""):
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 from benchmarks.common import add_json_option, write_json
 from repro.compiler.pipeline import compile_kernel
-from repro.sim.multicore import run_sharded
+from repro.sim import simulate
 from repro.workloads.registry import get_workload
 
 WORKLOAD = ("reduce", {"n": 2048, "window": 64}, "partials")
@@ -54,7 +54,7 @@ def _measure() -> list[dict]:
     rows: list[dict] = []
     baseline = None
     for cores in CORE_COUNTS:
-        result = run_sharded(compiled, prepared.launch("dmt"), cores=cores)
+        result = simulate(compiled, prepared.launch("dmt"), cores=cores)
         assert "shard_fallback_reason" not in result.stats.extra, (
             f"{name} fell back on {cores} cores "
             f"[{result.stats.extra.get('shard_fallback_code')}]: "
@@ -87,7 +87,7 @@ def _measure() -> list[dict]:
 
 def _print_table(rows: list[dict]) -> None:
     name, params, _ = WORKLOAD
-    print(f"\n{name} dMT ({params}) under run_sharded, shared DRAM:")
+    print(f"\n{name} dMT ({params}) under simulate(cores=...), shared DRAM:")
     header = f"{'cores':>5} {'cycles':>8} {'speedup':>8}"
     print(header)
     print("-" * len(header))

@@ -1,14 +1,15 @@
 """Benchmark-harness options.
 
 ``--engine`` forces every dataflow simulation of the benchmark suite onto
-one engine (``auto``/``event``/``batched``) so regressions in either
-engine fail fast, e.g.::
+one engine (``auto``/``event``/``batched``/``window-batched``) so
+regressions in any engine fail fast, e.g.::
 
     pytest benchmarks/ --benchmark-only --engine batched
 
-Forcing ``batched`` is best-effort: kernels with inter-thread
-communication (every mt/dmt Table 3 variant) cannot run on the batched
-engine and keep using the event engine (see ``run_sharded``).
+Forcing an engine is best-effort: :func:`repro.sim.simulate` degrades a
+forced engine to a capable one when the graph demands it (a ``batched``
+sweep runs communicating kernels window-batched when they are
+feed-forward, and on the event engine otherwise).
 """
 
 from __future__ import annotations

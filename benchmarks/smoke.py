@@ -41,7 +41,7 @@ def run_engine_smoke() -> int:
     import numpy as np
 
     from repro.compiler.pipeline import compile_kernel
-    from repro.sim.cycle import run_cycle_accurate
+    from repro.sim import simulate
     from repro.workloads.registry import get_workload
 
     workload = get_workload("matrixMul")
@@ -51,7 +51,7 @@ def run_engine_smoke() -> int:
     results = {}
     for engine in ("event", "batched"):
         start = time.perf_counter()
-        results[engine] = run_cycle_accurate(
+        results[engine] = simulate(
             compiled, prepared.launch("stream"), engine=engine
         )
         elapsed = time.perf_counter() - start
@@ -86,7 +86,7 @@ def run_sharding_smoke() -> int:
     import numpy as np
 
     from repro.compiler.pipeline import compile_kernel
-    from repro.sim.multicore import run_sharded
+    from repro.sim import simulate
     from repro.workloads.registry import get_workload
 
     workload = get_workload("reduce")
@@ -94,8 +94,8 @@ def run_sharding_smoke() -> int:
     compiled = compile_kernel(prepared.launch("dmt").graph)
 
     start = time.perf_counter()
-    single = run_sharded(compiled, prepared.launch("dmt"), cores=1)
-    multi = run_sharded(compiled, prepared.launch("dmt"), cores=4)
+    single = simulate(compiled, prepared.launch("dmt"), cores=1)
+    multi = simulate(compiled, prepared.launch("dmt"), cores=4)
     elapsed = time.perf_counter() - start
 
     if "shard_fallback_reason" in multi.stats.extra:

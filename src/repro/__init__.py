@@ -11,12 +11,13 @@ regenerates every table and figure of the paper's evaluation.
 
 Typical use::
 
-    from repro import KernelBuilder, compile_kernel, KernelLaunch, run_cycle_accurate
+    from repro import KernelBuilder, compile_kernel, KernelLaunch, simulate
 
     builder = KernelBuilder("scan", 256)
     ...
     compiled = compile_kernel(builder.finish())
-    result = run_cycle_accurate(compiled, KernelLaunch(compiled.graph, inputs))
+    result = simulate(compiled, KernelLaunch(compiled.graph, inputs))
+    result.engine, result.cycles, result.array("out")
 """
 
 from repro.compiler import CompiledKernel, CompilerOptions, compile_kernel
@@ -41,11 +42,13 @@ from repro.sim import (
     FunctionalResult,
     KernelLaunch,
     MulticoreResult,
+    SimulationResult,
     run_batched,
     run_cycle_accurate,
     run_functional,
     run_multicore,
     run_sharded,
+    simulate,
 )
 from repro.workloads import all_workloads, get_workload, workload_names
 
@@ -71,6 +74,7 @@ __all__ = [
     "Opcode",
     "ReproError",
     "SimulationError",
+    "SimulationResult",
     "SystemConfig",
     "ThreadGeometry",
     "UnitClass",
@@ -90,6 +94,7 @@ __all__ = [
     "run_sharded",
     "run_suite",
     "run_workload",
+    "simulate",
     "workload_names",
     "__version__",
 ]

@@ -65,9 +65,11 @@ CODES: dict[str, str] = {
     "RA034": "window-aligned multi-core cut is legal",
     # RA04x - engine eligibility / replay order
     "RA040": "batched-engine eligible (no inter-thread nodes)",
-    "RA041": "event-engine only (inter-thread nodes present)",
+    "RA041": "event-engine only (inter-thread traffic is not window-batchable)",
     "RA042": "load replay order falls back to per-node replay",
     "RA043": "load replay order is event-engine stable",
+    "RA044": "window-batchable (feed-forward inter-thread traffic)",
+    "RA045": "inter-thread traffic is not window-batchable",
     # RA05x - timing bounds
     "RA050": "static critical-path lower bound on cycles",
 }

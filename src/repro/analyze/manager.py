@@ -137,7 +137,13 @@ def analyze_kernel(compiled: "CompiledKernel") -> AnalysisResult:
     diagnostics.append(cp_diag)
 
     shard = _shard_verdict(shard_diags)
-    engine = "event" if any(d.code == "RA041" for d in engine_diags) else "batched"
+    codes = {d.code for d in engine_diags}
+    if "RA041" in codes:
+        engine = "event"
+    elif "RA044" in codes:
+        engine = "window-batched"
+    else:
+        engine = "batched"
     prepass = pure_load_ancestors(graph)
     result = AnalysisResult(
         diagnostics=tuple(diagnostics),

@@ -450,45 +450,81 @@ def shard_diagnostics(graph: DataflowGraph) -> list[Diagnostic]:
 
 # ---------------------------------------------- engine / replay-order pass
 def pure_load_ancestors(graph: DataflowGraph) -> set[int] | None:
-    """Loads plus their transitive ancestors when all ancestors are pure.
+    """Memory issue points plus their ancestors when all ancestors are pure.
 
-    This is the batched engine's replay-order stability condition: when
-    every LOAD node's index computation is pure/source-only, the issue
-    cycle of every load is derivable before any memory access is
-    classified, so the whole wave's load stream can be replayed in the
-    event engine's order.  Returns ``None`` when some load index depends
-    on another memory access — the engine then falls back to per-node
-    replay order.  ``sim/batched.py`` imports this function, so the
-    static verdict and the dynamic behaviour agree by construction.
+    This is the batched engines' replay-order stability condition: when
+    every LOAD *and* every ELDST node's operand computation (index,
+    predicate, optional ordering token) is pure/source-only, the issue
+    cycle of every memory access is derivable before any access is
+    classified, so the whole wave's access stream can be replayed in the
+    event engine's order.  Returns ``None`` when some access operand
+    depends on another memory access — the engines then fall back to
+    per-node replay order.  ``sim/batched.py`` imports this function, so
+    the static verdict and the dynamic behaviour agree by construction.
+    (Inter-thread-free graphs have no ELDST nodes, so for them this is
+    exactly the original load-only condition.)
     """
     inputs = {
         node.node_id: sorted(graph.inputs_of(node.node_id).values())
         for node in graph.nodes
     }
-    loads = graph.nodes_with_opcode(Opcode.LOAD)
-    prepass: set[int] = {load.node_id for load in loads}
+    accesses = graph.nodes_with_opcode(Opcode.LOAD, Opcode.ELDST)
+    prepass: set[int] = {access.node_id for access in accesses}
     visited: set[int] = set()
-    for load in loads:
-        stack = list(inputs[load.node_id])
+    for access in accesses:
+        stack = list(inputs[access.node_id])
         while stack:
             nid = stack.pop()
             if nid in visited:
                 continue
             node = graph.node(nid)
             if node.opcode not in PURE_OPCODES and node.opcode not in SOURCE_OPCODES:
-                return None  # a load index depends on a memory access
+                return None  # an access operand depends on a memory access
             visited.add(nid)
             stack.extend(inputs[nid])
     return prepass | visited
 
 
+def _replay_order_diagnostics(graph: DataflowGraph) -> Diagnostic:
+    """The RA042/RA043 replay-order verdict for a batchable kernel."""
+    prepass = pure_load_ancestors(graph)
+    if prepass is None:
+        impure = tuple(
+            access.node_id
+            for access in graph.nodes_with_opcode(Opcode.LOAD, Opcode.ELDST)
+            if _index_touches_memory(graph, access)
+        )
+        return Diagnostic(
+            code="RA042",
+            severity=Severity.INFO,
+            message=(
+                "a load index depends on another memory access; the batched "
+                "engine replays loads per node instead of in event order"
+            ),
+            nodes=impure,
+            labels=_labels(graph, impure),
+        )
+    return Diagnostic(
+        code="RA043",
+        severity=Severity.INFO,
+        message=(
+            "every load index is pure; the batched engine replays the "
+            "load stream in the event engine's exact order"
+        ),
+        data={"prepass_nodes": len(prepass)},
+    )
+
+
 def engine_diagnostics(graph: DataflowGraph) -> list[Diagnostic]:
     """Classify the kernel for engine dispatch (all INFO).
 
-    ``RA040`` batched-eligible / ``RA041`` event-only mirrors
-    ``resolve_engine("auto", graph)``; for batched-eligible kernels
-    ``RA043``/``RA042`` states whether the analytic cache model keeps the
-    event engine's replay order or degrades to per-node replay.
+    Exactly one of ``RA040`` (batched-eligible, no inter-thread nodes),
+    ``RA044`` (window-batchable communicating kernel) or ``RA041``
+    (event-only) is emitted, mirroring ``resolve_engine("auto", graph)``;
+    for either batched engine ``RA043``/``RA042`` states whether the
+    analytic cache model keeps the event engine's replay order or
+    degrades to per-node replay.  ``RA041`` kernels additionally carry
+    ``RA045`` naming the reason the window-group path is out of reach.
     """
     out: list[Diagnostic] = []
     interthread = tuple(
@@ -496,18 +532,48 @@ def engine_diagnostics(graph: DataflowGraph) -> list[Diagnostic]:
         for node in graph.nodes_with_opcode(Opcode.ELEVATOR, Opcode.ELDST, Opcode.BARRIER)
     )
     if interthread:
-        out.append(
-            Diagnostic(
-                code="RA041",
-                severity=Severity.INFO,
-                message=(
-                    f"{len(interthread)} inter-thread node(s) require the "
-                    "event-driven engine"
-                ),
-                nodes=interthread,
-                labels=_labels(graph, interthread),
+        from repro.graph.interthread import window_batch_problem
+
+        problem = window_batch_problem(graph)
+        if problem is None:
+            windows, _ = communication_windows(graph)
+            lcm = math.lcm(*windows) if windows else None
+            out.append(
+                Diagnostic(
+                    code="RA044",
+                    severity=Severity.INFO,
+                    message=(
+                        f"{len(interthread)} inter-thread node(s) are "
+                        "feed-forward and window-bounded; eligible for the "
+                        "window-batched engine"
+                    ),
+                    nodes=interthread,
+                    labels=_labels(graph, interthread),
+                    data={"window_lcm": lcm},
+                )
             )
-        )
+            out.append(_replay_order_diagnostics(graph))
+        else:
+            out.append(
+                Diagnostic(
+                    code="RA041",
+                    severity=Severity.INFO,
+                    message=(
+                        f"{len(interthread)} inter-thread node(s) require the "
+                        "event-driven engine"
+                    ),
+                    nodes=interthread,
+                    labels=_labels(graph, interthread),
+                )
+            )
+            out.append(
+                Diagnostic(
+                    code="RA045",
+                    severity=Severity.INFO,
+                    message=f"not window-batchable: {problem}",
+                    data={"problem": problem},
+                )
+            )
         return out
     out.append(
         Diagnostic(
@@ -516,37 +582,7 @@ def engine_diagnostics(graph: DataflowGraph) -> list[Diagnostic]:
             message="no inter-thread nodes; eligible for the wave-batched engine",
         )
     )
-    prepass = pure_load_ancestors(graph)
-    if prepass is None:
-        impure = tuple(
-            load.node_id
-            for load in graph.nodes_with_opcode(Opcode.LOAD)
-            if _index_touches_memory(graph, load)
-        )
-        out.append(
-            Diagnostic(
-                code="RA042",
-                severity=Severity.INFO,
-                message=(
-                    "a load index depends on another memory access; the batched "
-                    "engine replays loads per node instead of in event order"
-                ),
-                nodes=impure,
-                labels=_labels(graph, impure),
-            )
-        )
-    else:
-        out.append(
-            Diagnostic(
-                code="RA043",
-                severity=Severity.INFO,
-                message=(
-                    "every load index is pure; the batched engine replays the "
-                    "load stream in the event engine's exact order"
-                ),
-                data={"prepass_nodes": len(prepass)},
-            )
-        )
+    out.append(_replay_order_diagnostics(graph))
     return out
 
 

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.errors import GraphError
 from repro.graph.node import Node
 from repro.graph.opcodes import Opcode
@@ -36,11 +38,13 @@ __all__ = [
     "linear_offset",
     "same_window",
     "elevator_source",
+    "elevator_source_vec",
     "elevator_destination",
     "eldst_source",
     "communication_windows",
     "subset_closed_under_window",
     "thread_subset_problem",
+    "window_batch_problem",
 ]
 
 
@@ -129,6 +133,43 @@ def elevator_destination(
     if not same_window(producer_tid, dst, window):
         return None
     return dst
+
+
+def elevator_source_vec(
+    node: Node,
+    tids: "np.ndarray",
+    block_dim: Sequence[int],
+    num_threads: int,
+) -> "np.ndarray":
+    """Vectorised :func:`elevator_source`: producer TID per consumer, -1 for none.
+
+    The window-batched engine resolves a whole thread vector's
+    communication in one gather, so the consumer→producer map must be
+    computed as array arithmetic; this is the exact NumPy twin of the
+    scalar function above (coordinate bounds, window check, launch
+    bounds), pinned element-for-element by the engine's tests.
+    """
+    consumers = np.asarray(tids, dtype=np.int64)
+    window = node.param("window")
+    src_offset = node.param("src_offset")
+    if src_offset is not None:
+        dx, dy, dz = _normalize_dims(block_dim)
+        off = tuple(int(v) for v in src_offset) + (0,) * (3 - len(tuple(src_offset)))
+        sx = consumers % dx + off[0]
+        sy = (consumers // dx) % dy + off[1]
+        sz = consumers // (dx * dy) + off[2]
+        valid = (
+            (sx >= 0) & (sx < dx) & (sy >= 0) & (sy < dy) & (sz >= 0) & (sz < dz)
+        )
+        src = sx + sy * dx + sz * dx * dy
+    else:
+        src = consumers - int(node.param("delta"))
+        valid = np.ones(consumers.shape, dtype=np.bool_)
+    valid &= (src >= 0) & (src < int(num_threads))
+    if window is not None:
+        w = int(window)
+        valid &= (src // w) == (consumers // w)
+    return np.where(valid, src, np.int64(-1))
 
 
 def eldst_source(
@@ -220,4 +261,44 @@ def thread_subset_problem(graph, thread_ids: Sequence[int], num_threads: int) ->
                 f"thread subset is not aligned to a transmission window "
                 f"of {window}"
             )
+    return None
+
+
+def window_batch_problem(graph) -> Optional[str]:
+    """Why ``graph`` cannot run on the window-batched engine (``None`` = it can).
+
+    This is the single statement of window-batchability, shared by the
+    static analyzer (``RA044``/``RA045``) and the engine's own
+    construction check so the verdict IS the dispatch decision.  A
+    communicating graph batches by window groups when its inter-thread
+    traffic is *feed-forward*:
+
+    * there is inter-thread traffic at all (otherwise the plain
+      wave-batched engine applies — this function is about the
+      communicating path);
+    * no static cycle runs through an ELEVATOR's temporal edge
+      (a recurrence such as the Fig. 6 prefix sum must be resolved
+      token by token by the event engine);
+    * every BARRIER carries a bounded ``window`` — an un-windowed
+      barrier synchronises the whole block, so there is no group
+      smaller than the launch to batch over.
+
+    ELEVATOR/ELDST chains need no bounded ``window`` of their own: their
+    consumer→producer maps are static (:func:`elevator_source_vec`), so
+    chains bounded by coordinate geometry (e.g. the row/column forwarding
+    of the paper's matrixMul) batch just as well — only *recurrences*
+    are out of reach.
+    """
+    if not graph.has_interthread():
+        return "no inter-thread nodes (the plain wave-batched engine applies)"
+    try:
+        graph.topological_order(ignore_temporal=False)
+    except GraphError:
+        return (
+            "an inter-thread recurrence cycle requires token-by-token "
+            "resolution"
+        )
+    for node in graph.nodes_with_opcode(Opcode.BARRIER):
+        if node.param("window") is None:
+            return f"{node.label()} synchronises the whole block (no bounded window)"
     return None

@@ -23,7 +23,7 @@ from repro.errors import WorkloadError
 from repro.gpgpu.simulator import run_fermi
 from repro.power.model import EnergyBreakdown, cgra_energy, fermi_energy
 from repro.power.tables import EnergyTable
-from repro.sim.multicore import run_sharded
+from repro.sim import simulate
 from repro.workloads.base import ARCHITECTURES, PreparedWorkload, Workload
 from repro.workloads.registry import all_workloads, get_workload
 
@@ -120,11 +120,10 @@ def run_workload(
 
     ``architecture`` is one of the paper's three architectures
     (``fermi``/``mt``/``dmt``) or an additional graph variant from
-    :data:`GRAPH_VARIANTS` (``dmt_win``, ``stream``).  ``engine`` selects
-    the dataflow execution engine (``"auto"``, ``"event"`` or
-    ``"batched"``); ``cores`` overrides ``SystemConfig.cores`` for
-    multi-core sharding (window-aligned for communicating kernels).  Both
-    are ignored by the Fermi baseline.
+    :data:`GRAPH_VARIANTS` (``dmt_win``, ``stream``).  ``engine`` and
+    ``cores`` are forwarded to :func:`repro.sim.simulate`; the resolved
+    engine (never ``"auto"``) lands in ``counters["engine"]``.  Both are
+    ignored by the Fermi baseline.
     """
     if architecture not in ARCHITECTURES and architecture not in GRAPH_VARIANTS:
         raise WorkloadError(
@@ -147,7 +146,7 @@ def run_workload(
     else:
         launch = prepared.launch(architecture)
         compiled = compile_kernel(launch.graph, config, compiler_options)
-        result = run_sharded(compiled, launch, engine=engine, cores=cores)
+        result = simulate(compiled, launch, engine=engine, cores=cores)
         counters = result.counters()
         # Report the static critical-path lower bound next to the measured
         # cycle count (cached on the kernel by the compile-time analysis).

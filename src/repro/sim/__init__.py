@@ -1,12 +1,21 @@
 """Simulators of the (d)MT-CGRA execution model.
 
-Three execution layers share one semantics:
+:func:`simulate` is the single entry point.  It resolves the engine,
+plans the multi-core cut and returns a :class:`SimulationResult` whose
+``engine``/``cores`` fields record what actually ran::
+
+    from repro.sim import simulate
+    result = simulate(compiled, launch)            # engine="auto"
+    result.engine                                   # "batched" | "window-batched" | "event"
+    result.array("C"), result.cycles, result.counters()
+
+Four execution layers share one semantics:
 
 * :mod:`repro.sim.functional` — the untimed, demand-driven interpreter;
   the correctness oracle every other engine is tested against.
 * :mod:`repro.sim.cycle` — the event-driven, cycle-level model: one heap
-  event per token per edge.  Exact, and the only engine that models
-  inter-thread communication (ELEVATOR/ELDST/BARRIER), the full cache/
+  event per token per edge.  Exact, and the only engine that resolves
+  inter-thread *recurrences* (cyclic ELEVATOR chains), the full cache/
   DRAM behaviour and token-buffer backpressure.
 * :mod:`repro.sim.batched` — the wave-batched NumPy engine for graphs
   without inter-thread dependences: each static node is evaluated once
@@ -17,24 +26,33 @@ Three execution layers share one semantics:
   levels on the shared :mod:`repro.memory.tagcore` core, replayed in
   the event engine's access order and mirrored into the hierarchy
   counters — exactly equal to the event engine's counters on
-  order-stable traces).  An order of magnitude faster than the event
-  engine at 4k+ threads, with bit-identical outputs and identical
-  operation counters.
+  order-stable traces).
+* :mod:`repro.sim.window_batched` — the batched engine extended to
+  *feed-forward* communicating kernels (ELEVATOR/ELDST/BARRIER whose
+  consumer→producer maps are static and whose barriers carry bounded
+  transmission windows): token traffic resolves as vector gathers and
+  segmented reductions over window groups instead of heap events.
 
-:func:`repro.sim.cycle.run_cycle_accurate` is the single entry point:
-``engine="auto"`` (the default) routes inter-thread-free graphs to the
-batched engine and everything else to the event engine; ``"event"`` and
-``"batched"`` force a specific engine.
+Engine selection (``engine="auto"``) consumes the static analyzer's
+verdict — ``RA040`` inter-thread-free → batched, ``RA044``
+window-batchable → window-batched, ``RA041`` otherwise → event — so the
+static verdict IS the dispatch decision.  All engines produce
+bit-identical outputs and identical operation counters.
 
-:mod:`repro.sim.multicore` scales beyond one core: an inter-thread-free
-launch is sharded block-cyclically across ``SystemConfig.cores``
-simulated cores, each with a private memory hierarchy, and the per-core
-stats are combined with :meth:`ExecutionStats.merge`.  Use
-:func:`repro.sim.multicore.run_sharded` to get the configured number of
-cores with automatic single-core fallback for communicating kernels.
+:mod:`repro.sim.multicore` scales beyond one core: a launch is sharded
+block-cyclically across ``SystemConfig.cores`` simulated cores (shard
+boundaries aligned to the transmission-window LCM), each core with a
+private memory hierarchy, and per-core stats combined with
+:meth:`ExecutionStats.merge`.  ``simulate(cores=...)`` drives this
+layer; kernels that admit no legal cut fall back to one core with the
+reason recorded in ``stats.extra``.
+
+The legacy entry points ``run_cycle_accurate`` and ``run_sharded``
+remain as deprecated thin wrappers over the same dispatch cores.
 """
 
 from repro.sim.analytic_cache import AnalyticMemoryModel
+from repro.sim.api import SimulationResult, simulate
 from repro.sim.batched import BatchedSimulator, run_batched
 from repro.sim.cycle import (
     ENGINES,
@@ -52,6 +70,7 @@ from repro.sim.multicore import (
     shard_threads,
 )
 from repro.sim.stats import ExecutionStats
+from repro.sim.window_batched import WindowBatchedSimulator, run_window_batched
 
 __all__ = [
     "AnalyticMemoryModel",
@@ -64,11 +83,15 @@ __all__ = [
     "FunctionalSimulator",
     "KernelLaunch",
     "MulticoreResult",
+    "SimulationResult",
+    "WindowBatchedSimulator",
     "resolve_engine",
     "run_batched",
     "run_cycle_accurate",
     "run_functional",
     "run_multicore",
     "run_sharded",
+    "run_window_batched",
     "shard_threads",
+    "simulate",
 ]

@@ -1,0 +1,152 @@
+"""The one front door to the simulator stack: :func:`simulate`.
+
+Historically a caller had to pick between three entry points —
+``run_cycle_accurate`` (single core, engine plumbing),
+``run_sharded``/``run_multicore`` (multi-core partitioning) — and thread
+engine-forcing flags through each.  :func:`simulate` collapses them: it
+resolves the engine (``"auto"`` consumes the static analyzer's
+``RA040``/``RA041``/``RA044`` verdict), plans the multi-core cut, runs,
+and returns a :class:`SimulationResult` that records *what actually ran*
+— the resolved engine (never ``"auto"``) and the core count — next to
+the usual outputs, stats and memory image.
+
+The legacy entry points remain as thin deprecated wrappers returning
+the raw results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.compiler.pipeline import CompiledKernel
+from repro.errors import SimulationError
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.image import MemoryImage
+from repro.sim.cycle import ENGINES, CycleResult, _run_single_core
+from repro.sim.launch import KernelLaunch
+from repro.sim.multicore import MulticoreResult, _run_sharded_impl
+from repro.sim.stats import ExecutionStats
+
+__all__ = ["SimulationResult", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """What one :func:`simulate` call produced, with resolved provenance.
+
+    ``engine`` is the engine that actually ran (``"event"``,
+    ``"batched"`` or ``"window-batched"`` — never ``"auto"``) and
+    ``cores`` the number of cores the launch ran on; both also live in
+    ``stats.extra`` so cached counter rows carry the same provenance.
+    ``raw`` is the underlying :class:`CycleResult` (single core) or
+    :class:`MulticoreResult` (sharded) for callers that need
+    engine-specific detail (per-core results, the shard plan, the
+    hierarchy object).
+    """
+
+    raw: CycleResult | MulticoreResult
+    engine: str
+    cores: int
+
+    @property
+    def cycles(self) -> int:
+        return self.raw.cycles
+
+    @property
+    def stats(self) -> ExecutionStats:
+        return self.raw.stats
+
+    @property
+    def memory(self) -> MemoryImage:
+        return self.raw.memory
+
+    @property
+    def outputs(self) -> dict[str, list[Any]]:
+        return self.raw.outputs
+
+    @property
+    def hierarchy(self) -> MemoryHierarchy:
+        """The memory hierarchy of a single-core run.
+
+        Sharded runs have one hierarchy per core — read those from
+        ``raw.core_results``.
+        """
+        if isinstance(self.raw, CycleResult):
+            return self.raw.hierarchy
+        raise SimulationError(
+            "a sharded run has one hierarchy per core; read raw.core_results"
+        )
+
+    def array(self, name: str) -> np.ndarray:
+        return self.raw.array(name)
+
+    def output(self, name: str) -> list[Any]:
+        return self.raw.outputs[name]
+
+    def counters(self) -> dict[str, int | float]:
+        return self.raw.counters()
+
+
+def simulate(
+    compiled: CompiledKernel,
+    launch: KernelLaunch,
+    *,
+    engine: str = "auto",
+    cores: int | None = None,
+    memory: MemoryHierarchy | None = None,
+    block: int | None = None,
+    max_cycles: int = 20_000_000,
+) -> SimulationResult:
+    """Run ``launch`` and return a :class:`SimulationResult`.
+
+    ``engine`` selects the execution engine: ``"event"`` (exact
+    event-driven), ``"batched"`` (wave-batched NumPy,
+    inter-thread-free graphs), ``"window-batched"`` (its extension to
+    feed-forward communicating graphs) or ``"auto"`` (default), which
+    picks the fastest engine able to execute the graph — the static
+    analyzer's engine verdict.  A forced engine is degraded to a capable
+    one when the graph demands it (a benchmark sweep forcing
+    ``"batched"`` over a barrier kernel runs window-batched or event
+    instead of failing); the *resolved* engine is what
+    ``result.engine`` and ``stats.extra["engine"]`` report.
+
+    ``cores`` (default ``SystemConfig.cores``) shards the launch
+    block-cyclically across simulated cores when a window-aligned cut
+    exists, falling back to one core otherwise; ``block`` overrides the
+    shard block size.  Passing an explicit ``memory`` hierarchy pins the
+    run to a single core on that hierarchy (and ``"auto"`` then resolves
+    to the event engine, whose counters are exact on the caller's
+    hierarchy object).
+
+    All engines produce bit-identical outputs and identical operation
+    counters; the batched engines' cycle counts and cache counters come
+    from the analytic cache model (exact on order-stable traces, close
+    estimates otherwise).
+    """
+    if engine not in ENGINES:
+        raise SimulationError(f"unknown engine '{engine}'; expected one of {ENGINES}")
+    if memory is not None:
+        if cores is not None and int(cores) != 1:
+            raise SimulationError(
+                "an explicit memory hierarchy pins the run to a single core; "
+                "drop cores= or pass cores=1"
+            )
+        raw: CycleResult | MulticoreResult = _run_single_core(
+            compiled, launch, hierarchy=memory, engine=engine, max_cycles=max_cycles
+        )
+    else:
+        raw = _run_sharded_impl(
+            compiled,
+            launch,
+            engine=engine,
+            cores=cores,
+            block=block,
+            max_cycles=max_cycles,
+        )
+    resolved = str(raw.stats.extra.get("engine", "event"))
+    return SimulationResult(
+        raw=raw, engine=resolved, cores=int(raw.stats.extra.get("cores", 1))
+    )

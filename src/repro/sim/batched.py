@@ -290,11 +290,7 @@ class BatchedSimulator:
             "num_threads"
         ):
             raise SimulationError("compiled kernel and launch disagree on thread count")
-        if compiled.graph.has_interthread():
-            raise SimulationError(
-                "the batched engine requires an inter-thread-free graph "
-                "(no ELEVATOR/ELDST/BARRIER nodes); use engine='event'"
-            )
+        self._reject_unsupported(compiled)
         if wave_group < 1:
             raise SimulationError("wave_group must be positive")
         self.compiled = compiled
@@ -368,6 +364,15 @@ class BatchedSimulator:
         )
         self._completion = 0.0
 
+    def _reject_unsupported(self, compiled: CompiledKernel) -> None:
+        """Graph-eligibility check; the window-batched subclass relaxes it."""
+        if compiled.graph.has_interthread():
+            raise SimulationError(
+                "the batched engine requires an inter-thread-free graph "
+                "(no ELEVATOR/ELDST/BARRIER nodes); use engine='auto' "
+                "to dispatch communicating kernels automatically"
+            )
+
     def _build_static(self, compiled: CompiledKernel) -> _StaticTables:
         """Launch-independent tables, cached on the compiled kernel.
 
@@ -386,7 +391,12 @@ class BatchedSimulator:
         }
         self._edge_latency, self._edge_hops = edge_timing(compiled)
         self._order_pos = {node.node_id: i for i, node in enumerate(self._order)}
-        self._load_nodes = [n for n in self._order if n.opcode is Opcode.LOAD]
+        # Memory issue points whose accesses the event-order prepass can
+        # classify: plain LOADs plus (window-batched engine) the loading
+        # threads of eLDST nodes.
+        self._load_nodes = [
+            n for n in self._order if n.opcode in (Opcode.LOAD, Opcode.ELDST)
+        ]
         prepass_nodes = self._pure_load_ancestors()
         ordered_loads = prepass_nodes is not None
         return _StaticTables(
@@ -472,7 +482,7 @@ class BatchedSimulator:
                 if best is None or candidate > best:
                     best = candidate
             chain = [(2.0 * arr, True)] + best[1] + [(float(best[2]), False)]
-            if node.opcode is Opcode.LOAD:
+            if node.opcode in (Opcode.LOAD, Opcode.ELDST):
                 components = np.array([value for value, _ in chain])
                 moments = np.array([is_moment for _, is_moment in chain])
                 keys[nid] = (components, moments)
@@ -524,6 +534,9 @@ class BatchedSimulator:
             return
         replicas = self._ports
         inject = ((offset + np.arange(n, dtype=np.int64)) // replicas).astype(np.float64)
+        # Kept for node executors that need injection cycles directly
+        # (the window-batched engine's elevator fallback constants).
+        self._wave_inject = inject
 
         values: dict[int, np.ndarray] = {}
         avail: dict[int, np.ndarray] = {}
@@ -543,12 +556,11 @@ class BatchedSimulator:
                 inputs = self._inputs[nid]
                 if nid in load_results:
                     # Classified in the pre-pass; read the data here, at the
-                    # load's topological position (stores earlier in the
+                    # access's topological position (stores earlier in the
                     # graph must land in the backing array first).
-                    idx, complete = load_results[nid]
-                    backing = self.memory.array(str(node.param("array")))
-                    values[nid] = _coerce_vec(backing[idx], node.dtype)
-                    avail[nid] = complete
+                    values[nid], avail[nid] = self._finish_prepassed(
+                        node, load_results[nid]
+                    )
                 elif nid not in evaluated:
                     operands = [values[src] for _, src in inputs]
                     ready = inject
@@ -583,7 +595,7 @@ class BatchedSimulator:
         topological position.
         """
         n = tids.size
-        pending: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        pending: list[tuple] = []
         for node in self._order:
             nid = node.node_id
             if nid not in self._prepass_nodes:
@@ -599,11 +611,9 @@ class BatchedSimulator:
             for _, src in inputs:
                 ready = np.maximum(ready, avail[src] + self._edge_latency[(src, nid)])
             issue = self._issue(nid, ready)
-            if node.opcode is Opcode.LOAD:
-                spec = self.memory.spec(str(node.param("array")))
-                idx = self._checked_indices(node, operands[0], spec.length)
-                addresses = spec.base_address + idx * spec.elem_bytes
-                pending.append((nid, issue, idx, addresses))
+            entry = self._prepass_access(node, operands, issue)
+            if entry is not None:
+                pending.append(entry)
             else:
                 values[nid], avail[nid] = self._execute(node, tids, operands, issue)
             evaluated.add(nid)
@@ -619,7 +629,10 @@ class BatchedSimulator:
         # small lexsort over their component matrix and sort the whole
         # wave by one composite integer: pair rank, tie-broken by thread
         # position exactly like the previous full-width per-access sort.
-        depth = max(self._load_keys[nid][0].size for nid, _, _, _ in pending)
+        # ``valid`` masks (eLDST: only the loading threads touch memory)
+        # drop masked rows from the replayed stream without perturbing
+        # the surviving rows' relative order.
+        depth = max(self._load_keys[node.node_id][0].size for node, *_ in pending)
         total = n * len(pending)
         inject_ids = (inject - inject[0]).astype(np.int64)
         n_injects = int(inject_ids[-1]) + 1
@@ -629,7 +642,9 @@ class BatchedSimulator:
         pair_node = np.empty(pairs)
         issue_all = np.empty(total)
         address_all = np.empty(total, dtype=np.int64)
-        for block, (nid, issue, _, addresses) in enumerate(pending):
+        valid_all = np.ones(total, dtype=np.bool_)
+        for block, (node, issue, _, addresses, valid) in enumerate(pending):
+            nid = node.node_id
             rows = slice(block * n_injects, (block + 1) * n_injects)
             components, moments = self._load_keys[nid]
             for j in range(components.size):
@@ -640,6 +655,8 @@ class BatchedSimulator:
             pair_node[rows] = float(self._order_pos[nid])
             issue_all[block * n : (block + 1) * n] = issue
             address_all[block * n : (block + 1) * n] = addresses
+            if valid is not None:
+                valid_all[block * n : (block + 1) * n] = valid
         pair_order = np.lexsort(tuple([pair_node] + list(pair_columns[::-1])))
         pair_rank = np.empty(pairs, dtype=np.int64)
         pair_rank[pair_order] = np.arange(pairs)
@@ -648,13 +665,45 @@ class BatchedSimulator:
         )
         composite = pair_rank[block_base + np.tile(inject_ids, len(pending))] * n
         composite += np.tile(np.arange(n, dtype=np.int64), len(pending))
-        order = np.argsort(composite)
-        completions = np.empty(total)
+        if bool(valid_all.all()):
+            order = np.argsort(composite)
+        else:
+            sel = np.flatnonzero(valid_all)
+            order = sel[np.argsort(composite[sel])]
+        completions = np.full(total, np.nan)
         completions[order] = self._analytic.access_batch(
             address_all[order], issue_all[order], is_store=False
         )
-        for block, (nid, _, idx, _) in enumerate(pending):
-            load_results[nid] = (idx, completions[block * n : (block + 1) * n])
+        for block, (node, issue, idx, _, valid) in enumerate(pending):
+            load_results[node.node_id] = (
+                issue,
+                idx,
+                completions[block * n : (block + 1) * n],
+                valid,
+            )
+
+    def _prepass_access(
+        self, node: Node, operands: list[np.ndarray], issue: np.ndarray
+    ):
+        """One prepass entry ``(node, issue, idx, addresses, valid)`` for a
+        memory issue point, or ``None`` to evaluate the node inline.
+        ``valid`` masks the threads that really touch memory (``None`` =
+        all; the window-batched engine masks eLDST to its loading
+        threads)."""
+        if node.opcode is not Opcode.LOAD:
+            return None
+        spec = self.memory.spec(str(node.param("array")))
+        idx = self._checked_indices(node, operands[0], spec.length)
+        addresses = spec.base_address + idx * spec.elem_bytes
+        return (node, issue, idx, addresses, None)
+
+    def _finish_prepassed(
+        self, node: Node, entry: tuple
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise a prepass-classified access at its topological slot."""
+        _, idx, complete, _ = entry
+        backing = self.memory.array(str(node.param("array")))
+        return _coerce_vec(backing[idx], node.dtype), complete
 
     def _source_value(self, node: Node, tids: np.ndarray, n: int) -> np.ndarray:
         op = node.opcode

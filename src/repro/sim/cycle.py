@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -46,6 +47,7 @@ from repro.graph.interthread import (
     elevator_destination,
     elevator_source,
     thread_subset_problem,
+    window_batch_problem,
 )
 from repro.graph.node import Node
 from repro.graph.opcodes import Opcode, UnitClass
@@ -586,22 +588,28 @@ class CycleSimulator:
             self._retired += 1
 
 
-#: Engines selectable through :func:`run_cycle_accurate`.
-ENGINES = ("auto", "event", "batched")
+#: Engines selectable through :func:`repro.sim.simulate`.
+ENGINES = ("auto", "event", "batched", "window-batched")
 
 
 def resolve_engine(engine: str, graph: DataflowGraph) -> str:
     """Resolve ``"auto"`` to a concrete engine for ``graph``.
 
     Graphs without inter-thread dependences (no ELEVATOR/ELDST/BARRIER
-    nodes) run on the wave-batched NumPy engine; everything else runs on
-    the event-driven simulator, which models token forwarding exactly.
+    nodes) run on the wave-batched NumPy engine; communicating graphs
+    whose traffic is feed-forward and window-bounded
+    (:func:`repro.graph.interthread.window_batch_problem`) run on the
+    window-batched engine; everything else — inter-thread recurrences,
+    whole-block barriers — runs on the event-driven simulator, which
+    models token forwarding exactly.
     """
     if engine not in ENGINES:
         raise SimulationError(f"unknown engine '{engine}'; expected one of {ENGINES}")
     if engine != "auto":
         return engine
-    return "event" if graph.has_interthread() else "batched"
+    if not graph.has_interthread():
+        return "batched"
+    return "window-batched" if window_batch_problem(graph) is None else "event"
 
 
 def build_simulator(
@@ -633,10 +641,13 @@ def build_simulator(
         resolved = analyze_kernel(compiled).engine
     else:
         resolved = resolve_engine(engine, compiled.graph)
-    if resolved == "batched":
-        from repro.sim.batched import BatchedSimulator
+    if resolved in ("batched", "window-batched"):
+        if resolved == "window-batched":
+            from repro.sim.window_batched import WindowBatchedSimulator as sim_cls
+        else:
+            from repro.sim.batched import BatchedSimulator as sim_cls
 
-        return BatchedSimulator(
+        return sim_cls(
             compiled,
             launch,
             hierarchy=hierarchy,
@@ -655,22 +666,23 @@ def build_simulator(
     )
 
 
-def run_cycle_accurate(
+def _run_single_core(
     compiled: CompiledKernel,
     launch: KernelLaunch,
     hierarchy: MemoryHierarchy | None = None,
     engine: str = "auto",
     max_cycles: int = 20_000_000,
 ) -> CycleResult:
-    """Simulate ``compiled`` with the data of ``launch``.
+    """Single-core run; the engine-dispatch core behind :func:`repro.sim.simulate`.
 
     ``engine`` selects the execution engine: ``"event"`` is the exact
     event-driven model, ``"batched"`` the wave-batched NumPy engine for
-    inter-thread-free graphs, and ``"auto"`` (the default) picks the
-    fastest engine that can execute the graph.  Both engines produce
-    bit-identical outputs and identical operation counters; the batched
-    engine's cycle count and memory-hierarchy counters come from its
-    capacity/conflict-aware analytic cache model
+    inter-thread-free graphs, ``"window-batched"`` its extension to
+    feed-forward communicating graphs, and ``"auto"`` (the default)
+    picks the fastest engine that can execute the graph.  All engines
+    produce bit-identical outputs and identical operation counters; the
+    batched engines' cycle counts and memory-hierarchy counters come
+    from the capacity/conflict-aware analytic cache model
     (:mod:`repro.sim.analytic_cache`) — equal to the event engine's on
     order-stable traces, close estimates otherwise.  ``"auto"`` still
     resolves to the event engine when a ``hierarchy`` is passed in
@@ -682,3 +694,31 @@ def run_cycle_accurate(
     return build_simulator(
         compiled, launch, engine=engine, hierarchy=hierarchy, max_cycles=max_cycles
     ).run()
+
+
+def run_cycle_accurate(
+    compiled: CompiledKernel,
+    launch: KernelLaunch,
+    hierarchy: MemoryHierarchy | None = None,
+    engine: str = "auto",
+    max_cycles: int = 20_000_000,
+) -> CycleResult:
+    """Deprecated: use :func:`repro.sim.simulate` instead.
+
+    Thin single-core wrapper kept for backwards compatibility; it
+    delegates to the same dispatch core as ``simulate()`` and returns
+    the legacy :class:`CycleResult`.
+    """
+    warnings.warn(
+        "run_cycle_accurate() is deprecated; use repro.sim.simulate() "
+        "(returns a SimulationResult with resolved engine/cores provenance)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_single_core(
+        compiled,
+        launch,
+        hierarchy=hierarchy,
+        engine=engine,
+        max_cycles=max_cycles,
+    )

@@ -34,6 +34,7 @@ run concurrently — and volume counters the sum).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -42,10 +43,12 @@ import numpy as np
 from repro.analyze.manager import analyze_kernel
 from repro.compiler.pipeline import CompiledKernel
 from repro.errors import SimulationError
+from repro.graph.dfg import DataflowGraph
+from repro.graph.interthread import window_batch_problem
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.image import MemoryImage
 from repro.memory.shared_dram import SharedDRAM
-from repro.sim.cycle import CycleResult, build_simulator, run_cycle_accurate
+from repro.sim.cycle import CycleResult, _run_single_core, build_simulator
 from repro.sim.launch import KernelLaunch
 from repro.sim.stats import ExecutionStats
 
@@ -188,6 +191,26 @@ def shard_threads(num_threads: int, cores: int, block: int) -> list[np.ndarray]:
     return [tids[owner == core] for core in range(cores)]
 
 
+def _best_effort_engine(engine: str, graph: DataflowGraph) -> str:
+    """Degrade a forced ``engine`` to one that can execute ``graph``.
+
+    Suite-wide sweeps force one engine across every workload
+    (``--engine batched``); rather than fail on the first kernel the
+    engine cannot run, the request is honoured wherever legal and
+    quietly degraded elsewhere: ``batched`` on a communicating graph
+    becomes ``window-batched`` when the traffic is feed-forward (else
+    ``event``), ``window-batched`` becomes ``batched`` on an
+    inter-thread-free graph and ``event`` on a graph it cannot batch.
+    The resolved engine is always recorded in
+    ``stats.extra["engine"]``, so records never lie about what ran.
+    """
+    if engine == "batched" and graph.has_interthread():
+        return "window-batched" if window_batch_problem(graph) is None else "event"
+    if engine == "window-batched" and window_batch_problem(graph) is not None:
+        return "batched" if not graph.has_interthread() else "event"
+    return engine
+
+
 def run_multicore(
     compiled: CompiledKernel,
     launch: KernelLaunch,
@@ -214,8 +237,7 @@ def run_multicore(
             f"cannot shard '{compiled.graph.name}' across {cores} cores: "
             f"{plan.fallback_reason}"
         )
-    if compiled.graph.has_interthread() and engine == "batched":
-        engine = "event"
+    engine = _best_effort_engine(engine, compiled.graph)
 
     shards = shard_threads(compiled.num_threads, cores, plan.block)
     active = sum(1 for shard in shards if shard.size)
@@ -274,7 +296,7 @@ def run_multicore(
     )
 
 
-def run_sharded(
+def _run_sharded_impl(
     compiled: CompiledKernel,
     launch: KernelLaunch,
     engine: str = "auto",
@@ -282,7 +304,7 @@ def run_sharded(
     block: int | None = None,
     max_cycles: int = 20_000_000,
 ) -> CycleResult | MulticoreResult:
-    """Run ``launch`` on the configured number of cores.
+    """Sharding core behind :func:`repro.sim.simulate`.
 
     Kernels whose inter-thread communication fits inside bounded
     transmission windows are sharded block-cyclically across ``cores``
@@ -291,18 +313,16 @@ def run_sharded(
     single core with the human-readable reason recorded in
     ``stats.extra["shard_fallback_reason"]`` and the analyzer's stable
     diagnostic code in ``stats.extra["shard_fallback_code"]``, so
-    benchmark sweeps can tell sharded runs from fallback runs.  The ``engine`` request is
-    best-effort in the same way: forcing ``"batched"`` applies it
-    wherever the graph is legal for it and quietly uses the event engine
-    for communicating kernels, so suite-wide sweeps (``--engine
+    benchmark sweeps can tell sharded runs from fallback runs.  The
+    ``engine`` request is best-effort in the same way
+    (:func:`_best_effort_engine`), so suite-wide sweeps (``--engine
     batched``) run everything instead of failing on the first barrier.
     """
     cores = compiled.config.cores if cores is None else int(cores)
-    if compiled.graph.has_interthread() and engine == "batched":
-        engine = "event"
+    engine = _best_effort_engine(engine, compiled.graph)
     plan = plan_shards(compiled, cores=cores, block=block)
     if not plan.sharded:
-        result = run_cycle_accurate(
+        result = _run_single_core(
             compiled, launch, engine=engine, max_cycles=max_cycles
         )
         if cores > 1 and plan.fallback_reason is not None:
@@ -315,5 +335,34 @@ def run_sharded(
         cores=cores,
         engine=engine,
         block=plan.block,
+        max_cycles=max_cycles,
+    )
+
+
+def run_sharded(
+    compiled: CompiledKernel,
+    launch: KernelLaunch,
+    engine: str = "auto",
+    cores: int | None = None,
+    block: int | None = None,
+    max_cycles: int = 20_000_000,
+) -> CycleResult | MulticoreResult:
+    """Deprecated: use :func:`repro.sim.simulate` instead.
+
+    Kept for backwards compatibility; delegates to the same sharding
+    core as ``simulate()`` and returns the legacy raw result.
+    """
+    warnings.warn(
+        "run_sharded() is deprecated; use repro.sim.simulate() "
+        "(returns a SimulationResult with resolved engine/cores provenance)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_sharded_impl(
+        compiled,
+        launch,
+        engine=engine,
+        cores=cores,
+        block=block,
         max_cycles=max_cycles,
     )

@@ -21,7 +21,8 @@ from repro.analyze import analyze_kernel
 from repro.compiler.pipeline import compile_kernel
 from repro.errors import DeadlockError
 from repro.kernel.builder import KernelBuilder
-from repro.sim.cycle import CycleSimulator, resolve_engine, run_cycle_accurate
+from repro.sim import simulate
+from repro.sim.cycle import CycleSimulator, resolve_engine
 from repro.sim.launch import KernelLaunch
 from repro.sim.multicore import plan_shards
 from repro.workloads.registry import all_workloads
@@ -79,11 +80,26 @@ def test_static_verdicts_match_dynamic_dispatch(workload, variant, graph):
     from repro.sim.cycle import build_simulator
 
     simulator = build_simulator(compiled, launch, engine="auto")
-    engine_name = type(simulator).__name__
-    assert (result.engine == "batched") == (engine_name == "BatchedSimulator")
+    # Exact class mapping (WindowBatchedSimulator subclasses
+    # BatchedSimulator, so a truthy isinstance check is not enough).
+    expected_class = {
+        "batched": "BatchedSimulator",
+        "window-batched": "WindowBatchedSimulator",
+        "event": "CycleSimulator",
+    }[result.engine]
+    assert type(simulator).__name__ == expected_class
 
-    # Replay-order stability: the batched engine's prepass decision.
-    if result.engine == "batched":
+    # Window-batchability verdict codes travel with the engine verdict.
+    codes = set(result.codes())
+    if result.engine == "window-batched":
+        assert "RA044" in codes and "RA041" not in codes
+    elif result.engine == "event":
+        assert {"RA041", "RA045"} <= codes
+    else:
+        assert "RA040" in codes
+
+    # Replay-order stability: the batched engines' prepass decision.
+    if result.engine in ("batched", "window-batched"):
         assert simulator._ordered_loads == result.order_stable
 
     # Shardability: verdict and code match the planner's actual decision.
@@ -94,9 +110,13 @@ def test_static_verdicts_match_dynamic_dispatch(workload, variant, graph):
         assert plan.window_lcm == result.shard.window_lcm
 
     # No deadlock statically predicted; the kernel must run to completion
-    # and the measured cycles must respect the static lower bound.
-    run = run_cycle_accurate(compiled, launch)
+    # and the measured cycles must respect the static lower bound.  The
+    # resolved engine recorded in the run's provenance must equal the
+    # static verdict (never "auto").
+    run = simulate(compiled, launch)
     assert run.cycles >= result.min_cycles
+    assert run.engine == result.engine
+    assert run.stats.extra["engine"] == result.engine
 
 
 def test_deadlock_pass_flags_exactly_the_deadlocking_kernel():

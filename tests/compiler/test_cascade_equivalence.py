@@ -15,7 +15,7 @@ from repro.compiler.pipeline import compile_kernel
 from repro.config.system import SystemConfig, TokenBufferConfig
 from repro.graph.opcodes import Opcode
 from repro.kernel.builder import KernelBuilder
-from repro.sim.cycle import run_cycle_accurate
+from repro.sim import simulate
 from repro.sim.functional import run_functional
 
 from repro.sim.launch import KernelLaunch
@@ -49,7 +49,7 @@ def test_cascaded_graphs_compute_the_same_result(buffer_entries):
     compiled = compile_kernel(graph, config)
     data = np.arange(float(n)) + 1
     launch = KernelLaunch(graph, {"in_data": data})
-    result = run_cycle_accurate(compiled, launch)
+    result = simulate(compiled, launch)
     np.testing.assert_allclose(result.array("out"), _expected(data, distance))
     expected_nodes = -(-distance // buffer_entries)  # ceil
     assert len(compiled.elevator_nodes()) == expected_nodes
@@ -64,7 +64,7 @@ def test_spilled_transfer_still_computes_the_same_result():
     compiled = compile_kernel(graph, config)
     assert compiled.spilled_nodes()
     data = np.arange(float(n))
-    result = run_cycle_accurate(compiled, KernelLaunch(graph, {"in_data": data}))
+    result = simulate(compiled, KernelLaunch(graph, {"in_data": data}))
     np.testing.assert_allclose(result.array("out"), _expected(data, distance))
     assert result.stats.spilled_tokens > 0
     assert result.stats.lvc_accesses > 0

@@ -45,9 +45,12 @@ def test_two_point_campaign_matches_direct_run_workload(tmp_path):
         assert round_tripped["params"] == direct.params
         assert record["params"]["seed"] == 3
 
-    # Provenance satellite: cached rows can tell engine and core count.
+    # Provenance satellite: cached rows record the *resolved* engine
+    # (never "auto") and the core count.  matrixMul dmt is feed-forward
+    # communicating, so auto dispatch resolves to the window-batched
+    # engine.
     counters = result.outcomes[0].record["result"]["counters"]
-    assert counters["engine"] in ("event", "batched")
+    assert counters["engine"] == "window-batched"
     assert counters["cores"] == 1
 
 

@@ -1,0 +1,91 @@
+"""Tests for the :func:`repro.sim.simulate` facade and the legacy wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_kernel
+from repro.errors import SimulationError
+from repro.kernel.builder import KernelBuilder
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim import (
+    SimulationResult,
+    run_cycle_accurate,
+    run_sharded,
+    simulate,
+)
+from repro.sim.launch import KernelLaunch
+
+
+def _axpy_launch(n=24):
+    b = KernelBuilder("axpy", n)
+    b.global_array("x", n)
+    b.global_array("y", n)
+    b.global_array("out", n)
+    tid = b.thread_idx_x()
+    value = b.fma(b.load("x", tid), b.const(2.5), b.load("y", tid))
+    b.store("out", tid, value)
+    graph = b.finish()
+    inputs = {"x": np.arange(n) * 0.37, "y": np.arange(n) * -1.2 + 0.5}
+    return KernelLaunch(graph, inputs)
+
+
+def test_simulate_records_resolved_engine_never_auto():
+    launch = _axpy_launch()
+    compiled = compile_kernel(launch.graph)
+    result = simulate(compiled, launch)  # engine="auto"
+    assert isinstance(result, SimulationResult)
+    assert result.engine == "batched"
+    assert result.stats.extra["engine"] == "batched"
+    assert result.counters()["engine"] == "batched"
+    assert result.cores == 1
+
+
+def test_simulate_rejects_unknown_engine():
+    launch = _axpy_launch()
+    compiled = compile_kernel(launch.graph)
+    with pytest.raises(SimulationError, match="unknown engine"):
+        simulate(compiled, launch, engine="warp")
+
+
+def test_simulate_memory_kwarg_pins_single_core():
+    launch = _axpy_launch()
+    compiled = compile_kernel(launch.graph)
+    hierarchy = MemoryHierarchy(compiled.config.memory)
+    result = simulate(compiled, launch, memory=hierarchy)
+    assert result.engine == "event"  # explicit hierarchy wants exact counters
+    assert result.cores == 1
+    assert result.hierarchy is hierarchy
+    assert hierarchy.l1.stats.accesses > 0
+    with pytest.raises(SimulationError, match="single core"):
+        simulate(compiled, _axpy_launch(), memory=hierarchy, cores=2)
+    # cores=1 is redundant but legal next to an explicit hierarchy.
+    simulate(compiled, _axpy_launch(), memory=MemoryHierarchy(compiled.config.memory), cores=1)
+
+
+def test_simulate_sharded_result_has_no_single_hierarchy():
+    launch = _axpy_launch(n=32)
+    compiled = compile_kernel(launch.graph)
+    result = simulate(compiled, launch, cores=2)
+    assert result.cores == 2
+    with pytest.raises(SimulationError, match="per core"):
+        result.hierarchy
+    assert len(result.raw.core_results) == 2
+
+
+def test_run_cycle_accurate_is_deprecated_but_works():
+    launch = _axpy_launch()
+    compiled = compile_kernel(launch.graph)
+    with pytest.warns(DeprecationWarning, match="simulate"):
+        result = run_cycle_accurate(compiled, launch)
+    expected = launch.inputs["x"] * 2.5 + launch.inputs["y"]
+    np.testing.assert_allclose(result.array("out"), expected)
+
+
+def test_run_sharded_is_deprecated_but_works():
+    launch = _axpy_launch(n=32)
+    compiled = compile_kernel(launch.graph)
+    with pytest.warns(DeprecationWarning, match="simulate"):
+        result = run_sharded(compiled, launch, cores=2)
+    expected = launch.inputs["x"] * 2.5 + launch.inputs["y"]
+    np.testing.assert_allclose(result.array("out"), expected)
+    assert result.stats.extra["cores"] == 2

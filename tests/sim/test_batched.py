@@ -8,9 +8,10 @@ from repro.config.system import default_system_config
 from repro.errors import SimulationError
 from repro.kernel.builder import KernelBuilder
 from repro.sim.batched import BatchedSimulator, run_batched
-from repro.sim.cycle import resolve_engine, run_cycle_accurate
+from repro.sim import simulate
+from repro.sim.cycle import resolve_engine
 from repro.sim.launch import KernelLaunch
-from repro.sim.multicore import run_multicore, run_sharded, shard_threads
+from repro.sim.multicore import run_multicore, shard_threads
 from repro.workloads.matmul import MatmulWorkload
 
 #: Counters the acceptance criteria require to be equal between engines.
@@ -33,8 +34,8 @@ def _axpy_launch(n=48):
 def test_batched_matches_event_bitwise():
     launch = _axpy_launch()
     compiled = compile_kernel(launch.graph)
-    event = run_cycle_accurate(compiled, launch, engine="event")
-    batched = run_cycle_accurate(compiled, launch, engine="batched")
+    event = simulate(compiled, launch, engine="event")
+    batched = simulate(compiled, launch, engine="batched")
     assert np.array_equal(event.array("out"), batched.array("out"))
     event_counters = event.stats.as_dict()
     batched_counters = batched.stats.as_dict()
@@ -87,8 +88,8 @@ def test_batched_outputs_match_event_outputs():
     graph = b.finish()
     inputs = {"x": np.arange(n) * 1.5}
     compiled = compile_kernel(graph)
-    event = run_cycle_accurate(compiled, KernelLaunch(graph, inputs), engine="event")
-    batched = run_cycle_accurate(compiled, KernelLaunch(graph, inputs), engine="batched")
+    event = simulate(compiled, KernelLaunch(graph, inputs), engine="event")
+    batched = simulate(compiled, KernelLaunch(graph, inputs), engine="batched")
     assert event.output("doubled") == batched.output("doubled")
 
 
@@ -105,7 +106,7 @@ def test_multicore_matches_single_core():
     workload = MatmulWorkload()
     prepared = workload.prepare({"dim": 8})
     compiled = compile_kernel(prepared.launch("stream").graph)
-    single = run_cycle_accurate(compiled, prepared.launch("stream"))
+    single = simulate(compiled, prepared.launch("stream"))
     multi = run_multicore(compiled, prepared.launch("stream"), cores=4)
     assert multi.cores == 4
     assert np.array_equal(single.array("c"), multi.array("c"))
@@ -134,20 +135,20 @@ def test_multicore_rejects_interthread_graphs(scan_launch):
         run_multicore(compiled, launch, cores=2)
 
 
-def test_run_sharded_falls_back_to_single_core_for_interthread(scan_launch):
+def test_simulate_falls_back_to_single_core_for_interthread(scan_launch):
     launch, data = scan_launch
     compiled = compile_kernel(launch.graph)
-    result = run_sharded(compiled, launch, cores=4)
+    result = simulate(compiled, launch, cores=4)
     np.testing.assert_allclose(result.array("prefix"), np.cumsum(data))
 
 
-def test_run_sharded_uses_config_cores():
+def test_simulate_uses_config_cores():
     from dataclasses import replace
 
     config = replace(default_system_config(), cores=2).validate()
     launch = _axpy_launch(n=24)
     compiled = compile_kernel(launch.graph, config)
-    result = run_sharded(compiled, launch)
+    result = simulate(compiled, launch)
     assert result.cores == 2
     reference = _axpy_launch(n=24)
     expected = reference.inputs["x"] * 2.5 + reference.inputs["y"]
@@ -162,19 +163,19 @@ def test_auto_engine_honours_explicit_hierarchy():
     launch = _axpy_launch(n=16)
     compiled = compile_kernel(launch.graph)
     hierarchy = MemoryHierarchy(compiled.config.memory)
-    result = run_cycle_accurate(compiled, launch, hierarchy=hierarchy)
+    result = simulate(compiled, launch, memory=hierarchy)
     assert hierarchy.l1.stats.accesses > 0
     flat = result.counters()
     assert flat["l1_read_hits"] + flat["l1_read_misses"] > 0
     assert flat["l1_read_misses"] == hierarchy.l1.stats.read_misses
 
 
-def test_run_sharded_forced_batched_downgrades_for_interthread(scan_launch):
+def test_simulate_forced_batched_downgrades_for_interthread(scan_launch):
     """--engine batched sweeps must run communicating kernels on the
     event engine instead of failing on the first barrier/elevator."""
     launch, data = scan_launch
     compiled = compile_kernel(launch.graph)
-    result = run_sharded(compiled, launch, engine="batched")
+    result = simulate(compiled, launch, engine="batched")
     np.testing.assert_allclose(result.array("prefix"), np.cumsum(data))
 
 

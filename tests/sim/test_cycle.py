@@ -7,7 +7,8 @@ from repro.compiler.pipeline import compile_kernel
 from repro.config.system import default_system_config
 from repro.errors import DeadlockError
 from repro.kernel.builder import KernelBuilder
-from repro.sim.cycle import CycleSimulator, run_cycle_accurate
+from repro.sim import simulate
+from repro.sim.cycle import CycleSimulator
 from repro.sim.functional import run_functional
 from repro.sim.launch import KernelLaunch
 from repro.workloads.convolution import ConvolutionWorkload
@@ -17,7 +18,7 @@ from repro.workloads.reduce import ReduceWorkload
 def test_cycle_results_match_functional(scan_launch):
     launch, data = scan_launch
     compiled = compile_kernel(launch.graph)
-    cycle = run_cycle_accurate(compiled, launch)
+    cycle = simulate(compiled, launch)
     functional = run_functional(launch)
     np.testing.assert_allclose(cycle.array("prefix"), functional.array("prefix"))
     assert cycle.cycles > 0
@@ -26,7 +27,7 @@ def test_cycle_results_match_functional(scan_launch):
 def test_stats_reflect_interthread_communication(scan_launch):
     launch, _ = scan_launch
     compiled = compile_kernel(launch.graph)
-    result = run_cycle_accurate(compiled, launch)
+    result = simulate(compiled, launch)
     n = launch.num_threads
     assert result.stats.elevator_retags == n - 1
     assert result.stats.elevator_constants == 1
@@ -42,7 +43,7 @@ def test_mt_variant_uses_scratchpad_and_barriers():
     prepared = workload.prepare(params)
     launch = prepared.launch("mt")
     compiled = compile_kernel(launch.graph)
-    result = run_cycle_accurate(compiled, launch)
+    result = simulate(compiled, launch)
     assert result.stats.barrier_arrivals == 64
     assert result.stats.scratch_stores == 64
     assert result.stats.scratch_loads == 3 * 64
@@ -55,7 +56,7 @@ def test_dmt_variant_avoids_scratchpad():
     prepared = workload.prepare(params)
     launch = prepared.launch("dmt")
     compiled = compile_kernel(launch.graph)
-    result = run_cycle_accurate(compiled, launch)
+    result = simulate(compiled, launch)
     assert result.stats.scratch_loads == 0
     assert result.stats.barrier_arrivals == 0
     assert result.stats.elevator_retags > 0
@@ -67,7 +68,7 @@ def test_windowed_reduce_runs_on_cycle_simulator():
     params = {"n": 64, "window": 16}
     prepared = workload.prepare(params)
     launch = prepared.launch("dmt")
-    result = run_cycle_accurate(compile_kernel(launch.graph), launch)
+    result = simulate(compile_kernel(launch.graph), launch)
     prepared.check_outputs({"partials": result.array("partials")})
 
 
@@ -75,7 +76,7 @@ def test_memory_hierarchy_counters_are_exposed():
     workload = ConvolutionWorkload()
     prepared = workload.prepare({"n": 64, "k0": 0.25, "k1": 0.5, "k2": 0.25})
     launch = prepared.launch("dmt")
-    result = run_cycle_accurate(compile_kernel(launch.graph), launch)
+    result = simulate(compile_kernel(launch.graph), launch)
     counters = result.counters()
     assert counters["dram_reads"] > 0
     assert counters["l1_read_misses"] > 0
@@ -108,7 +109,7 @@ def test_noc_hops_match_mapped_route_lengths():
     graph = b.finish()
     compiled = compile_kernel(graph)
     launch = KernelLaunch(graph, {"in_data": np.arange(float(n))})
-    result = run_cycle_accurate(compiled, launch, engine="event")
+    result = simulate(compiled, launch, engine="event")
     expected_hops_per_thread = sum(
         compiled.edge_hops(edge.src, edge.dst) for edge in compiled.graph.edges()
     )
@@ -137,7 +138,7 @@ def test_noc_hops_independent_of_latency_parameters():
         config = replace(default_system_config(), noc=noc)
         compiled = compile_kernel(graph, config)
         launch = KernelLaunch(graph, {"in_data": np.arange(float(n))})
-        result = run_cycle_accurate(compiled, launch, engine="event")
+        result = simulate(compiled, launch, engine="event")
         expected = n * sum(
             compiled.edge_hops(e.src, e.dst) for e in compiled.graph.edges()
         )

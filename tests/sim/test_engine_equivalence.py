@@ -14,7 +14,7 @@ import pytest
 
 from repro.compiler.pipeline import compile_kernel
 from repro.errors import WorkloadError
-from repro.sim.cycle import run_cycle_accurate
+from repro.sim import simulate
 from repro.workloads.registry import all_workloads
 
 #: Candidate dataflow variants probed per workload.
@@ -72,8 +72,8 @@ def _assert_engines_equivalent(name, variant, params):
     workload = next(w for w in all_workloads() if w.name == name)
     prepared = workload.prepare(params)
     compiled = compile_kernel(prepared.launch(variant).graph)
-    event = run_cycle_accurate(compiled, prepared.launch(variant), engine="event")
-    batched = run_cycle_accurate(compiled, prepared.launch(variant), engine="batched")
+    event = simulate(compiled, prepared.launch(variant), engine="event")
+    batched = simulate(compiled, prepared.launch(variant), engine="batched")
     for array_name in prepared.expected:
         assert np.array_equal(event.array(array_name), batched.array(array_name)), array_name
     prepared.check_outputs({n: batched.array(n) for n in prepared.expected})

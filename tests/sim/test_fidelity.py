@@ -19,7 +19,7 @@ import pytest
 from repro.compiler.pipeline import compile_kernel
 from repro.config.system import default_system_config
 from repro.kernel.builder import KernelBuilder
-from repro.sim.cycle import run_cycle_accurate
+from repro.sim import simulate
 from repro.sim.launch import KernelLaunch
 from repro.workloads.registry import get_workload
 
@@ -37,6 +37,14 @@ STREAM_CASES = (
     ("reduce", {"n": 256, "window": 32}),
 )
 
+#: (workload, variant, params) communicating variants the window-batched
+#: engine runs; their traces are replay-ordered, so misses gate exactly.
+WINDOW_CASES = (
+    ("matrixMul", "dmt", {"dim": 16}),
+    ("matrixMul", "dmt_win", {"dim": 16}),
+    ("reduce", "dmt_win", {"n": 256, "window": 32}),
+)
+
 
 def capacity_config(size_bytes: int = 1024, ways: int = 2):
     """A capacity-constrained L1 (default: 2-way 1 KiB, 4 sets)."""
@@ -47,8 +55,8 @@ def capacity_config(size_bytes: int = 1024, ways: int = 2):
 
 def run_both(launch_factory, config):
     compiled = compile_kernel(launch_factory().graph, config)
-    event = run_cycle_accurate(compiled, launch_factory(), engine="event")
-    batched = run_cycle_accurate(compiled, launch_factory(), engine="batched")
+    event = simulate(compiled, launch_factory(), engine="event")
+    batched = simulate(compiled, launch_factory(), engine="batched")
     return event, batched
 
 
@@ -79,6 +87,40 @@ def test_miss_counts_exact_under_default_config(name, params):
     for key in MISS_COUNTERS:
         assert batched_counters[key] == event_counters[key], key
     assert batched.cycles == event.cycles
+
+
+# ----------------------------------------------- window-batched communicating
+@pytest.mark.parametrize(
+    "name,variant,params", WINDOW_CASES, ids=[f"{c[0]}-{c[1]}" for c in WINDOW_CASES]
+)
+@pytest.mark.parametrize("config_name", ["default", "capacity"])
+def test_window_batched_miss_counts_exact(name, variant, params, config_name):
+    """The communicating dmt/dmt_win variants keep the exact-fidelity
+    contract on order-stable traces: L1/L2 miss counts, writebacks and
+    DRAM traffic equal the event engine's under the default and the
+    capacity-constrained configuration alike."""
+    config = {"default": default_system_config(), "capacity": capacity_config()}[config_name]
+    prepared = get_workload(name).prepare(params)
+    compiled = compile_kernel(prepared.launch(variant).graph, config)
+    event = simulate(compiled, prepared.launch(variant), engine="event")
+    window = simulate(compiled, prepared.launch(variant))
+    assert window.engine == "window-batched"
+    event_counters, window_counters = event.counters(), window.counters()
+    for key in MISS_COUNTERS + ("l1_writebacks", "dram_reads", "dram_writes"):
+        assert window_counters[key] == event_counters[key], key
+
+
+def test_window_batched_cycle_error_within_bar_on_windowed_barrier():
+    """The windowed-barrier reduce kernel is the window engine's timing
+    worst case (segment maxima approximate the event engine's arrival
+    interleaving); the cycle estimate must stay within the 10% bar."""
+    prepared = get_workload("reduce").prepare({"n": 256, "window": 32})
+    compiled = compile_kernel(prepared.launch("dmt_win").graph, capacity_config())
+    event = simulate(compiled, prepared.launch("dmt_win"), engine="event")
+    window = simulate(compiled, prepared.launch("dmt_win"))
+    error = abs(window.cycles - event.cycles) / event.cycles
+    assert error <= 0.10, f"cycle error {error:.1%} (bar 10%)"
+    assert window.stats.barrier_arrivals == event.stats.barrier_arrivals
 
 
 def test_miss_counts_exact_with_mixed_line_sizes():
@@ -273,7 +315,7 @@ def test_load_dependent_load_falls_back_but_stays_equivalent():
     compiled = compile_kernel(build().graph, capacity_config())
     simulator = BatchedSimulator(compiled, build())
     assert not simulator._ordered_loads
-    event = run_cycle_accurate(compiled, build(), engine="event")
+    event = simulate(compiled, build(), engine="event")
     batched = simulator.run()
     assert np.array_equal(event.array("out"), batched.array("out"))
     event_counters, batched_counters = event.stats.as_dict(), batched.stats.as_dict()

@@ -8,9 +8,10 @@ from repro.errors import SimulationError
 from repro.graph.interthread import subset_closed_under_window, thread_subset_problem
 from repro.harness.experiments import run_workload
 from repro.kernel.builder import KernelBuilder
-from repro.sim.cycle import CycleSimulator, run_cycle_accurate
+from repro.sim import simulate
+from repro.sim.cycle import CycleSimulator
 from repro.sim.launch import KernelLaunch
-from repro.sim.multicore import plan_shards, run_multicore, run_sharded, shard_threads
+from repro.sim.multicore import plan_shards, run_multicore, shard_threads
 from repro.workloads.registry import get_workload
 
 #: Counters that must be equal between a sharded and a single-core run.
@@ -141,8 +142,8 @@ def test_multicore_skips_empty_shards():
 def test_windowed_elevator_shards_bit_identically():
     launch, _ = _windowed_elevator_launch(n=64, window=8)
     compiled = compile_kernel(launch.graph)
-    single = run_cycle_accurate(compiled, _windowed_elevator_launch(n=64, window=8)[0])
-    multi = run_sharded(compiled, launch, cores=4)
+    single = simulate(compiled, _windowed_elevator_launch(n=64, window=8)[0])
+    multi = simulate(compiled, launch, cores=4)
     assert multi.cores == 4
     assert "shard_fallback_reason" not in multi.stats.extra
     assert np.array_equal(single.array("out"), multi.array("out"))
@@ -158,8 +159,8 @@ def test_reduce_dmt_shards_on_four_cores():
     workload = get_workload("reduce")
     prepared = workload.prepare({"n": 256, "window": 64})
     compiled = compile_kernel(prepared.launch("dmt").graph)
-    single = run_sharded(compiled, prepared.launch("dmt"), cores=1)
-    multi = run_sharded(compiled, prepared.launch("dmt"), cores=4)
+    single = simulate(compiled, prepared.launch("dmt"), cores=1)
+    multi = simulate(compiled, prepared.launch("dmt"), cores=4)
     assert multi.cores == 4
     assert "shard_fallback_reason" not in multi.stats.extra
     assert multi.stats.extra["sharded_cores"] == 4
@@ -175,8 +176,8 @@ def test_matmul_windowed_dmt_shards_on_four_cores():
     workload = get_workload("matrixMul")
     prepared = workload.prepare({"dim": 8})
     compiled = compile_kernel(prepared.launch("dmt_win").graph)
-    single = run_sharded(compiled, prepared.launch("dmt_win"), cores=1)
-    multi = run_sharded(compiled, prepared.launch("dmt_win"), cores=4)
+    single = simulate(compiled, prepared.launch("dmt_win"), cores=1)
+    multi = simulate(compiled, prepared.launch("dmt_win"), cores=4)
     assert multi.cores == 4
     assert "shard_fallback_reason" not in multi.stats.extra
     assert np.array_equal(single.array("c"), multi.array("c"))
@@ -197,7 +198,7 @@ def test_matmul_full_dmt_still_falls_back():
     workload = get_workload("matrixMul")
     prepared = workload.prepare({"dim": 8})
     compiled = compile_kernel(prepared.launch("dmt").graph)
-    result = run_sharded(compiled, prepared.launch("dmt"), cores=4)
+    result = simulate(compiled, prepared.launch("dmt"), cores=4)
     assert "shard_fallback_reason" in result.stats.extra
     assert result.stats.extra["shard_fallback_code"] == "RA030"
     prepared.check_outputs({"c": result.array("c")})
@@ -207,8 +208,8 @@ def test_matmul_full_dmt_still_falls_back():
 def test_barrier_only_graph_shards_with_per_shard_barrier():
     launch, data = _barrier_only_launch(n=32)
     compiled = compile_kernel(launch.graph)
-    single = run_cycle_accurate(compiled, _barrier_only_launch(n=32)[0])
-    multi = run_sharded(compiled, launch, cores=4)
+    single = simulate(compiled, _barrier_only_launch(n=32)[0])
+    multi = simulate(compiled, launch, cores=4)
     assert multi.cores == 4
     assert "shard_fallback_reason" not in multi.stats.extra
     assert np.array_equal(single.array("out"), multi.array("out"))
@@ -219,8 +220,8 @@ def test_barrier_only_graph_shards_with_per_shard_barrier():
 def test_windowed_barrier_releases_groups_independently():
     whole, _ = _barrier_only_launch(n=32, window=None)
     windowed, data = _barrier_only_launch(n=32, window=8)
-    whole_result = run_cycle_accurate(compile_kernel(whole.graph), whole)
-    win_result = run_cycle_accurate(compile_kernel(windowed.graph), windowed)
+    whole_result = simulate(compile_kernel(whole.graph), whole)
+    win_result = simulate(compile_kernel(windowed.graph), windowed)
     np.testing.assert_allclose(win_result.array("out"), data * 2.0)
     # Each group of 8 releases as soon as it completes, so threads wait
     # (strictly) less than behind one whole-block barrier.
@@ -231,7 +232,7 @@ def test_scratch_coupled_barrier_falls_back():
     workload = get_workload("reduce")
     prepared = workload.prepare({"n": 256, "window": 64})
     compiled = compile_kernel(prepared.launch("mt").graph)
-    result = run_sharded(compiled, prepared.launch("mt"), cores=4)
+    result = simulate(compiled, prepared.launch("mt"), cores=4)
     assert "scratchpad" in result.stats.extra["shard_fallback_reason"]
     assert result.stats.extra["shard_fallback_code"] == "RA031"
     prepared.check_outputs({"partials": result.array("partials")})
@@ -251,10 +252,10 @@ def test_thread_subset_problem_accepts_window_unions():
     assert thread_subset_problem(launch.graph, list(range(4, 12)), 64) is not None
 
 
-def test_run_sharded_records_fallback_reason(scan_launch):
+def test_simulate_records_fallback_reason(scan_launch):
     launch, data = scan_launch
     compiled = compile_kernel(launch.graph)
-    result = run_sharded(compiled, launch, cores=4)
+    result = simulate(compiled, launch, cores=4)
     assert "no bounded transmission window" in result.stats.extra["shard_fallback_reason"]
     assert result.stats.extra["shard_fallback_code"] == "RA030"
     np.testing.assert_allclose(result.array("prefix"), np.cumsum(data))

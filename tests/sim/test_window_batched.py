@@ -1,0 +1,121 @@
+"""Tests for the window-batched engine: communicating kernels as vectors.
+
+The acceptance contract mirrors the batched engine's: bit-identical
+outputs and identical operation counters against the event engine, with
+the cycle count and cache counters produced by the analytic replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_kernel
+from repro.errors import SimulationError
+from repro.kernel.builder import KernelBuilder
+from repro.sim import simulate
+from repro.sim.cycle import resolve_engine
+from repro.sim.launch import KernelLaunch
+from repro.sim.window_batched import WindowBatchedSimulator, run_window_batched
+from repro.workloads.registry import get_workload
+
+#: Counters the acceptance criteria require to be equal between engines.
+OP_COUNTERS = ("alu_ops", "fpu_ops", "global_loads", "global_stores")
+
+
+def _prepared(name, variant, params):
+    workload = get_workload(name)
+    prepared = workload.prepare(params)
+    launch = prepared.launch(variant)
+    return prepared, compile_kernel(launch.graph), launch
+
+
+def _shift_launch(n=24):
+    """Feed-forward elevator chain: out[t] = x[t-1], thread 0 gets 99."""
+    b = KernelBuilder("shift", n)
+    b.global_array("x", n)
+    b.global_array("out", n)
+    tid = b.thread_idx_x()
+    value = b.load("x", tid)
+    b.tag_value("v", value)
+    recv = b.from_thread_or_const("v", -1, 99.0)
+    b.store("out", tid, recv)
+    graph = b.finish()
+    return KernelLaunch(graph, {"x": np.arange(n) * 1.25 + 3.0})
+
+
+@pytest.mark.parametrize(
+    "name,variant,params",
+    [
+        ("matrixMul", "dmt", {"dim": 6}),
+        ("matrixMul", "dmt_win", {"dim": 6}),
+        ("reduce", "dmt", {"n": 48, "window": 8}),
+    ],
+    ids=["matmul-dmt", "matmul-dmt_win", "reduce-dmt"],
+)
+def test_window_batched_matches_event_bitwise(name, variant, params):
+    prepared, compiled, launch = _prepared(name, variant, params)
+    event = simulate(compiled, launch, engine="event")
+    window = simulate(compiled, launch, engine="window-batched")
+    assert window.engine == "window-batched"
+    assert event.engine == "event"
+    for array in prepared.expected:
+        assert np.array_equal(event.array(array), window.array(array)), array
+    prepared.check_outputs({a: window.array(a) for a in prepared.expected})
+    event_counters = event.stats.as_dict()
+    window_counters = window.stats.as_dict()
+    for counter in event_counters:
+        if counter == "engine":  # provenance differs by design
+            continue
+        assert event_counters[counter] == window_counters[counter], counter
+
+
+def test_auto_engine_resolves_window_batched_for_feedforward_traffic():
+    _, compiled, _ = _prepared("matrixMul", "dmt_win", {"dim": 4})
+    assert resolve_engine("auto", compiled.graph) == "window-batched"
+
+
+def test_window_batched_rejects_interthread_recurrences(scan_launch):
+    launch, _ = scan_launch  # prefix sum: cyclic elevator chain
+    compiled = compile_kernel(launch.graph)
+    with pytest.raises(SimulationError, match="recurrence|cycle"):
+        WindowBatchedSimulator(compiled, launch)
+
+
+def test_forced_window_batched_degrades_to_capable_engine(scan_launch):
+    launch, data = scan_launch
+    compiled = compile_kernel(launch.graph)
+    result = simulate(compiled, launch, engine="window-batched")
+    assert result.engine == "event"  # recurrence: only the event engine can
+    np.testing.assert_allclose(result.array("prefix"), np.cumsum(data))
+
+    stream_prepared = get_workload("matrixMul").prepare({"dim": 4})
+    stream_launch = stream_prepared.launch("stream")
+    stream = simulate(
+        compile_kernel(stream_launch.graph), stream_launch, engine="window-batched"
+    )
+    assert stream.engine == "batched"  # no inter-thread traffic to window
+
+
+def test_elevator_boundary_threads_fall_back_to_the_constant():
+    launch = _shift_launch()
+    compiled = compile_kernel(launch.graph)
+    event = simulate(compiled, _shift_launch(), engine="event")
+    window = run_window_batched(compiled, _shift_launch())
+    assert np.array_equal(event.array("out"), window.array("out"))
+    assert window.array("out")[0] == 99.0
+    assert window.stats.extra["engine"] == "window-batched"
+    assert window.stats.elevator_constants == event.stats.elevator_constants == 1
+    assert window.stats.elevator_retags == launch.num_threads - 1
+
+
+def test_window_batched_shards_across_cores():
+    prepared, compiled, launch = _prepared("matrixMul", "dmt_win", {"dim": 8})
+    single = simulate(compiled, launch, engine="window-batched")
+    multi = simulate(compiled, prepared.launch("dmt_win"), cores=4)
+    assert multi.cores == 4
+    assert multi.engine == "window-batched"
+    assert np.array_equal(single.array("c"), multi.array("c"))
+    prepared.check_outputs({"c": multi.array("c")})
+    single_counters = single.stats.as_dict()
+    multi_counters = multi.stats.as_dict()
+    for counter in OP_COUNTERS:
+        assert multi_counters[counter] == single_counters[counter], counter

@@ -18,7 +18,7 @@ from repro.compiler.pipeline import compile_kernel
 from repro.graph.opcodes import Opcode
 from repro.kernel.builder import KernelBuilder
 from repro.memory.coalescer import coalesce
-from repro.sim.cycle import run_cycle_accurate
+from repro.sim import simulate
 from repro.sim.functional import run_functional
 from repro.sim.launch import KernelLaunch
 from repro.workloads.registry import all_workloads
@@ -137,8 +137,8 @@ def test_batched_engine_matches_event_engine_on_stream_workloads(index, seed):
     workload = _STREAM_WORKLOADS[index]
     prepared = workload.prepare(_STREAM_PARAMS[workload.name], seed=seed)
     compiled = compile_kernel(prepared.launch("stream").graph)
-    event = run_cycle_accurate(compiled, prepared.launch("stream"), engine="event")
-    batched = run_cycle_accurate(compiled, prepared.launch("stream"), engine="batched")
+    event = simulate(compiled, prepared.launch("stream"), engine="event")
+    batched = simulate(compiled, prepared.launch("stream"), engine="batched")
     for name in prepared.expected:
         assert np.array_equal(event.array(name), batched.array(name)), name
     prepared.check_outputs({n: batched.array(n) for n in prepared.expected})

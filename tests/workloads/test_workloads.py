@@ -14,7 +14,7 @@ import pytest
 
 from repro.compiler.pipeline import compile_kernel
 from repro.gpgpu.simulator import run_fermi
-from repro.sim.cycle import run_cycle_accurate
+from repro.sim import simulate
 from repro.sim.functional import run_functional
 from repro.workloads.registry import all_workloads, get_workload, workload_names
 
@@ -87,7 +87,7 @@ def test_dataflow_variants_match_reference_on_cycle_simulator(name, variant):
     prepared = _prepared(name)
     launch = prepared.launch(variant)
     compiled = compile_kernel(launch.graph)
-    result = run_cycle_accurate(compiled, launch)
+    result = simulate(compiled, launch)
     prepared.check_outputs({k: result.array(k) for k in prepared.expected})
     assert result.cycles > 0
 
@@ -128,7 +128,7 @@ def test_matmul_fig3_forwarding_pattern():
     prepared = get_workload("matrixMul").prepare({"dim": 3}, seed=0)
     launch = prepared.launch("dmt")
     compiled = compile_kernel(launch.graph)
-    result = run_cycle_accurate(compiled, launch)
+    result = simulate(compiled, launch)
     prepared.check_outputs({"c": result.array("c")})
     dim = 3
     # Only 2 * dim^2 elements are loaded from the source matrices (plus no
@@ -141,8 +141,8 @@ def test_matmul_dmt_reduces_global_loads_versus_mt():
     prepared = _prepared("matrixMul")
     dmt = prepared.launch("dmt")
     mt = prepared.launch("mt")
-    dmt_result = run_cycle_accurate(compile_kernel(dmt.graph), dmt)
-    mt_result = run_cycle_accurate(compile_kernel(mt.graph), mt)
+    dmt_result = simulate(compile_kernel(dmt.graph), dmt)
+    mt_result = simulate(compile_kernel(mt.graph), mt)
     assert (
         dmt_result.stats.global_loads
         < mt_result.stats.global_loads + mt_result.stats.scratch_loads
