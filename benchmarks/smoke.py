@@ -22,6 +22,12 @@ import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+from repro.obs.log import configure, get_logger  # noqa: E402
+
+log = get_logger("benchmarks.smoke")
 
 COMPARED_COUNTERS = ("alu_ops", "fpu_ops", "global_loads", "global_stores")
 
@@ -55,8 +61,8 @@ def run_engine_smoke() -> int:
             compiled, prepared.launch("stream"), engine=engine
         )
         elapsed = time.perf_counter() - start
-        print(f"  {engine:<8} 256-thread matmul: {elapsed:.2f}s, "
-              f"{results[engine].cycles} cycles")
+        log.info(f"  {engine:<8} 256-thread matmul: {elapsed:.2f}s, "
+                 f"{results[engine].cycles} cycles")
         RESULTS.append(
             {
                 "check": "engine",
@@ -68,17 +74,17 @@ def run_engine_smoke() -> int:
 
     event, batched = results["event"], results["batched"]
     if not np.array_equal(event.array("c"), batched.array("c")):
-        print("FAIL: engines disagree on matmul outputs")
+        log.error("FAIL: engines disagree on matmul outputs")
         return 1
     prepared.check_outputs({"c": batched.array("c")})
     event_counters = event.stats.as_dict()
     batched_counters = batched.stats.as_dict()
     for counter in COMPARED_COUNTERS:
         if event_counters[counter] != batched_counters[counter]:
-            print(f"FAIL: {counter} differs between engines "
-                  f"(event={event_counters[counter]}, batched={batched_counters[counter]})")
+            log.error(f"FAIL: {counter} differs between engines "
+                      f"(event={event_counters[counter]}, batched={batched_counters[counter]})")
             return 1
-    print("  engines agree: outputs bit-identical, op counters equal")
+    log.info("  engines agree: outputs bit-identical, op counters equal")
     return 0
 
 
@@ -99,15 +105,15 @@ def run_sharding_smoke() -> int:
     elapsed = time.perf_counter() - start
 
     if "shard_fallback_reason" in multi.stats.extra:
-        print(f"FAIL: reduce fell back to one core "
-              f"[{multi.stats.extra.get('shard_fallback_code')}]: "
-              f"{multi.stats.extra['shard_fallback_reason']}")
+        log.error(f"FAIL: reduce fell back to one core "
+                  f"[{multi.stats.extra.get('shard_fallback_code')}]: "
+                  f"{multi.stats.extra['shard_fallback_reason']}")
         return 1
     if getattr(multi, "cores", 1) != 4:
-        print(f"FAIL: expected 4 active cores, got {getattr(multi, 'cores', 1)}")
+        log.error(f"FAIL: expected 4 active cores, got {getattr(multi, 'cores', 1)}")
         return 1
-    print(f"  sharded 256-thread reduce: {elapsed:.2f}s, "
-          f"{single.cycles} cycles on 1 core, {multi.cycles} on 4")
+    log.info(f"  sharded 256-thread reduce: {elapsed:.2f}s, "
+             f"{single.cycles} cycles on 1 core, {multi.cycles} on 4")
     RESULTS.append(
         {
             "check": "sharding",
@@ -117,21 +123,22 @@ def run_sharding_smoke() -> int:
         }
     )
     if not np.array_equal(single.array("partials"), multi.array("partials")):
-        print("FAIL: sharded outputs differ from the single-core run")
+        log.error("FAIL: sharded outputs differ from the single-core run")
         return 1
     prepared.check_outputs({"partials": multi.array("partials")})
     single_counters = single.stats.as_dict()
     multi_counters = multi.stats.as_dict()
     for counter in COMPARED_COUNTERS + ("elevator_retags", "tokens_sent"):
         if single_counters[counter] != multi_counters[counter]:
-            print(f"FAIL: {counter} differs between 1-core and 4-core runs "
-                  f"(single={single_counters[counter]}, multi={multi_counters[counter]})")
+            log.error(f"FAIL: {counter} differs between 1-core and 4-core runs "
+                      f"(single={single_counters[counter]}, multi={multi_counters[counter]})")
             return 1
-    print("  sharding agrees: no fallback, outputs bit-identical, op counters equal")
+    log.info("  sharding agrees: no fallback, outputs bit-identical, op counters equal")
     return 0
 
 
 def main(argv: list[str]) -> int:
+    configure(verbosity=1, stream=sys.stdout)
     json_path = None
     if "--json" in argv:
         value_index = argv.index("--json") + 1
@@ -140,15 +147,14 @@ def main(argv: list[str]) -> int:
             return 2
         json_path = argv[value_index]
     if "--no-tests" not in argv:
-        print("== tier-1 tests ==")
+        log.info("== tier-1 tests ==")
         rc = run_tests()
         if rc:
             return rc
-    print("== engine smoke (matmul, 256 threads, both engines) ==")
-    sys.path.insert(0, SRC)
+    log.info("== engine smoke (matmul, 256 threads, both engines) ==")
     rc = run_engine_smoke()
     if rc == 0:
-        print("== sharding smoke (windowed reduce, 1 vs 4 cores) ==")
+        log.info("== sharding smoke (windowed reduce, 1 vs 4 cores) ==")
         rc = run_sharding_smoke()
     if json_path:
         sys.path.insert(0, REPO_ROOT)

@@ -24,6 +24,7 @@ from repro import (
     run_functional,
     simulate,
 )
+from repro.obs import ChromeTracer, render_node_profile, tracing
 from repro.power import cgra_energy
 
 
@@ -77,6 +78,19 @@ def main() -> None:
     print(f"global memory accesses : {result.stats.global_loads + result.stats.global_stores}")
     print(f"energy                 : {energy.total_uj:.3f} uJ")
     print(f"  of which leakage     : {energy.fraction('leakage'):.1%}")
+
+    # 4. Trace the same run.  Simulating under an ambient ChromeTracer
+    # captures every node firing, token arrival and memory access; the
+    # export is Chrome trace-event JSON (load trace.json in Perfetto) and
+    # also feeds the per-node cycle profile.  Tracing costs nothing when
+    # no tracer is installed — the engines check one pointer per hook.
+    tracer = ChromeTracer()
+    with tracing(tracer):
+        simulate(compiled, KernelLaunch(graph, {"in_data": data}))
+    tracer.export_file("quickstart_trace.json")
+    print()
+    print(f"traced re-run          : {len(tracer)} events -> quickstart_trace.json")
+    print(render_node_profile(tracer.export(), top=5))
 
 
 if __name__ == "__main__":

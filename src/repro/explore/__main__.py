@@ -10,6 +10,7 @@ from repro.explore.analysis import render_campaign_report
 from repro.explore.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.explore.runner import campaign_status, run_campaign
 from repro.explore.spec import load_spec
+from repro.obs.log import configure
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,15 +48,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    # Progress rides the repro.* logging tree (stdout, so quiet campaign
+    # output stays pipeable exactly like the previous print-based CLI).
+    configure(verbosity=0 if getattr(args, "quiet", False) else 1, stream=sys.stdout)
     try:
         spec = load_spec(args.spec)
         if args.command == "run":
-            progress = None if args.quiet else print
             result = run_campaign(
                 spec,
                 jobs=args.jobs,
                 cache_dir=args.cache_dir,
-                progress=progress,
                 rerun_errors=args.rerun_errors,
             )
             if args.quiet:
@@ -80,7 +82,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"(run the campaign first for a complete report)",
                 file=sys.stderr,
             )
-        print(render_campaign_report(spec, records))
+        print(render_campaign_report(spec, records, cached=[True] * len(records)))
         return 0
     except ExplorationError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -19,6 +19,7 @@ __all__ = [
     "pareto_front",
     "render_campaign_report",
     "sensitivity_rows",
+    "timing_rows",
 ]
 
 
@@ -99,8 +100,55 @@ def best_per_workload(
     return best
 
 
+def timing_rows(
+    records: Sequence[Mapping[str, Any]],
+    cached: Sequence[bool] | None = None,
+) -> list[list[Any]]:
+    """Wall-time and cache provenance per (workload, variant).
+
+    ``cached`` marks, per record, whether it was served from the result
+    cache (a :class:`~repro.explore.runner.CampaignResult` knows; records
+    read straight out of the cache are all hits).  The wall time comes
+    from each record's ``duration_s`` and the simulator share from the
+    harness phase timers (``result["phases"]["simulate"]``); both are
+    host-dependent provenance, deliberately kept out of the bit-for-bit
+    deterministic counters.
+    """
+    groups: dict[tuple[str, str], list[tuple[Mapping[str, Any], bool]]] = defaultdict(list)
+    for i, record in enumerate(records):
+        if record.get("status") != "ok" or not record.get("result"):
+            continue
+        key = (record["point"]["workload"], record["point"]["variant"])
+        groups[key].append((record, bool(cached[i]) if cached is not None else True))
+    rows: list[list[Any]] = []
+    for workload, variant in sorted(groups):
+        members = groups[(workload, variant)]
+        hits = sum(1 for _, was_cached in members if was_cached)
+        total = sum(float(r.get("duration_s", 0.0)) for r, _ in members)
+        sims = [
+            float(s)
+            for r, _ in members
+            if (s := r["result"].get("phases", {}).get("simulate")) is not None
+        ]
+        mean_sim = sum(sims) / len(sims) if sims else 0.0
+        rows.append(
+            [
+                workload,
+                variant,
+                len(members),
+                hits,
+                len(members) - hits,
+                f"{total:.2f}",
+                f"{mean_sim:.3f}",
+            ]
+        )
+    return rows
+
+
 def render_campaign_report(
-    spec: CampaignSpec, records: Sequence[Mapping[str, Any]]
+    spec: CampaignSpec,
+    records: Sequence[Mapping[str, Any]],
+    cached: Sequence[bool] | None = None,
 ) -> str:
     """Render the full campaign report (Pareto, sensitivity, best configs)."""
     ok = _ok_records(records)
@@ -167,6 +215,24 @@ def render_campaign_report(
                     ]
                     for workload, record in sorted(best.items())
                 ],
+            )
+        )
+
+    provenance = timing_rows(records, cached)
+    if provenance:
+        sections.append("Point wall time and cache provenance")
+        sections.append(
+            format_table(
+                [
+                    "Workload",
+                    "Variant",
+                    "Points",
+                    "Cached",
+                    "Simulated",
+                    "Wall [s]",
+                    "Mean sim [s]",
+                ],
+                provenance,
             )
         )
 

@@ -32,8 +32,11 @@ from repro.errors import ExplorationError
 from repro.explore.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.explore.spec import CampaignSpec, RunPoint
 from repro.harness.experiments import run_workload_record
+from repro.obs.log import get_logger
 
 __all__ = ["CampaignResult", "PointOutcome", "execute_point", "run_campaign"]
+
+log = get_logger("explore")
 
 
 def execute_point(payload: dict[str, Any]) -> dict[str, Any]:
@@ -151,6 +154,11 @@ def run_campaign(
         raise ExplorationError("jobs must be >= 1")
 
     def say(line: str) -> None:
+        # Progress always flows through the ``repro.explore`` logger
+        # (enable with ``repro.obs.log.configure``); an explicit
+        # ``progress`` callback additionally receives every line, so
+        # embedding callers and tests can capture them directly.
+        log.info("%s", line)
         if progress is not None:
             progress(line)
 
@@ -190,11 +198,13 @@ def run_campaign(
         label = pending[key].label()
         if record.get("status") == "ok":
             result = record["result"]
+            phases = result.get("phases") or {}
+            sim = f" sim={phases['simulate']:.2f}s" if "simulate" in phases else ""
             say(
                 f"  [{completed}/{len(pending)}] {label}: "
                 f"cycles={result['cycles']} "
                 f"energy={result['energy_pj'] / 1e6:.2f}uJ "
-                f"({record['duration_s']:.2f}s)"
+                f"({record['duration_s']:.2f}s{sim})"
             )
         else:
             say(f"  [{completed}/{len(pending)}] {label}: ERROR {record.get('error')}")

@@ -21,6 +21,7 @@ from repro.compiler.pipeline import CompiledKernel, CompilerOptions, compile_ker
 from repro.config.system import SystemConfig, default_system_config
 from repro.errors import WorkloadError
 from repro.gpgpu.simulator import run_fermi
+from repro.obs.metrics import timer
 from repro.power.model import EnergyBreakdown, cgra_energy, fermi_energy
 from repro.power.tables import EnergyTable
 from repro.sim import simulate
@@ -58,6 +59,11 @@ class RunResult:
     #: Static-analyzer findings for the compiled kernel (plain
     #: ``Diagnostic.to_dict`` form; empty for the Fermi baseline).
     diagnostics: list[dict[str, Any]] = field(default_factory=list)
+    #: Wall-clock seconds per pipeline phase (compile, simulate, analyze,
+    #: report, ...).  Kept apart from ``counters`` on purpose: counters
+    #: are bit-for-bit deterministic (and cached as such by the explore
+    #: layer); phase timings are host-dependent provenance.
+    phases: dict[str, float] = field(default_factory=dict)
 
     @property
     def energy_pj(self) -> float:
@@ -86,6 +92,7 @@ class RunResult:
             "energy": {k: float(v) for k, v in self.energy.components.items()},
             "params": {k: _plain_scalar(v) for k, v in self.params.items()},
             "diagnostics": list(self.diagnostics),
+            "phases": {k: float(v) for k, v in self.phases.items()},
         }
 
 
@@ -132,40 +139,57 @@ def run_workload(
         )
     config = config or default_system_config()
     resolved = _resolve(workload)
-    prepared = resolved.prepare(params, seed=seed)
+    phases: dict[str, float] = {}
+    with timer("prepare") as span:
+        prepared = resolved.prepare(params, seed=seed)
+    phases["prepare"] = span.seconds
 
     if architecture == "fermi":
         program = prepared.fermi_program()
-        result = run_fermi(program, prepared.fermi_inputs(), config=config)
-        counters = result.counters()
-        energy = fermi_energy(counters, config, energy_table)
-        outputs = _outputs_from_memory(prepared, result.memory)
+        with timer("simulate") as span:
+            result = run_fermi(program, prepared.fermi_inputs(), config=config)
+        phases["simulate"] = span.seconds
+        with timer("report") as span:
+            counters = result.counters()
+            energy = fermi_energy(counters, config, energy_table)
+            outputs = _outputs_from_memory(prepared, result.memory)
+        phases["report"] = span.seconds
         compiled = None
         cycles = result.cycles
         diagnostics = []
     else:
         launch = prepared.launch(architecture)
-        compiled = compile_kernel(launch.graph, config, compiler_options)
-        result = simulate(compiled, launch, engine=engine, cores=cores)
+        with timer("compile") as span:
+            compiled = compile_kernel(launch.graph, config, compiler_options)
+        phases["compile"] = span.seconds
+        with timer("simulate") as span:
+            result = simulate(compiled, launch, engine=engine, cores=cores)
+        phases["simulate"] = span.seconds
         counters = result.counters()
         # Report the static critical-path lower bound next to the measured
         # cycle count (cached on the kernel by the compile-time analysis).
-        analysis = analyze_kernel(compiled)
+        with timer("analyze") as span:
+            analysis = analyze_kernel(compiled)
+        phases["analyze"] = span.seconds
         counters["static_min_cycles"] = analysis.min_cycles
         diagnostics = [d.to_dict() for d in analysis.diagnostics]
-        energy = cgra_energy(
-            counters,
-            config,
-            energy_table,
-            configured_units=len(compiled.mapping.placement.node_to_unit)
-            if compiled.mapping
-            else None,
-        )
-        outputs = _outputs_from_memory(prepared, result.memory)
+        with timer("report") as span:
+            energy = cgra_energy(
+                counters,
+                config,
+                energy_table,
+                configured_units=len(compiled.mapping.placement.node_to_unit)
+                if compiled.mapping
+                else None,
+            )
+            outputs = _outputs_from_memory(prepared, result.memory)
+        phases["report"] = span.seconds
         cycles = result.cycles
 
     if check:
-        prepared.check_outputs(outputs)
+        with timer("check") as span:
+            prepared.check_outputs(outputs)
+        phases["check"] = span.seconds
 
     return RunResult(
         workload=resolved.name,
@@ -179,6 +203,7 @@ def run_workload(
         # data), so it travels with the parameters.
         params={**prepared.params, "seed": prepared.seed},
         diagnostics=diagnostics,
+        phases=phases,
     )
 
 

@@ -1,0 +1,129 @@
+"""CLI: trace one workload run and export it for Perfetto.
+
+Usage::
+
+    python -m repro.obs trace matrixMul --variant dmt --engine event \\
+        --param dim=16 --out trace.json --profile
+
+The run executes under an ambient :class:`~repro.obs.trace.ChromeTracer`
+(``--ring N`` bounds the buffer to the newest ``N`` events) and the
+export is Chrome trace-event JSON: one process per simulated core, one
+lane per physical PE, instant lanes for injection and the batched memory
+stream, wall-clock engine-phase spans on a separate host process, and
+derived ``occupancy`` / ``outstanding_mshrs`` counter tracks.
+``--profile`` additionally prints the per-node cycle attribution and the
+PE-occupancy heatmap derived from the same trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.obs.log import configure, get_logger
+from repro.obs.profile import render_heatmap, render_node_profile
+from repro.obs.trace import ChromeTracer, tracing
+
+log = get_logger("obs")
+
+
+def _parse_param(item: str) -> tuple[str, Any]:
+    if "=" not in item:
+        raise argparse.ArgumentTypeError(f"--param expects key=value, got '{item}'")
+    key, text = item.split("=", 1)
+    for cast in (int, float):
+        try:
+            return key, cast(text)
+        except ValueError:
+            continue
+    return key, text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability tools: trace a workload run for Perfetto.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    trace = sub.add_parser("trace", help="run one workload under a tracer")
+    trace.add_argument("workload", help="registry workload name (e.g. matrixMul)")
+    trace.add_argument("--variant", default="dmt", help="graph variant (default: %(default)s)")
+    trace.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        type=_parse_param,
+        metavar="KEY=VALUE",
+        help="workload parameter override (repeatable)",
+    )
+    trace.add_argument("--engine", default="auto", help="simulation engine (default: auto)")
+    trace.add_argument("--cores", type=int, default=None, help="simulated cores")
+    trace.add_argument("--seed", type=int, default=0, help="input seed (default: 0)")
+    trace.add_argument(
+        "--ring",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the trace buffer to the newest N events (default: unbounded)",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: <workload>_<variant>_trace.json)",
+    )
+    trace.add_argument(
+        "--profile",
+        action="store_true",
+        help="also print the per-node cycle profile and PE-occupancy heatmap",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    configure(verbosity=1)
+
+    # Imported here so `--help` stays instant.
+    from repro.compiler.pipeline import compile_kernel
+    from repro.errors import ReproError
+    from repro.sim import simulate
+    from repro.workloads.registry import get_workload
+
+    try:
+        workload = get_workload(args.workload)
+        prepared = workload.prepare(dict(args.param) or None, seed=args.seed)
+        launch = prepared.launch(args.variant)
+        compiled = compile_kernel(launch.graph)
+        tracer = ChromeTracer(limit=args.ring)
+        with tracing(tracer):
+            result = simulate(compiled, launch, engine=args.engine, cores=args.cores)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    out = args.out or f"{args.workload}_{args.variant}_trace.json"
+    tracer.export_file(out)
+    log.info(
+        "traced %s/%s: %d cycles on the %s engine (%d cores), "
+        "%d events (%s mode, %d dropped) -> %s",
+        args.workload,
+        args.variant,
+        result.cycles,
+        result.engine,
+        result.cores,
+        len(tracer),
+        tracer.mode,
+        tracer.dropped,
+        out,
+    )
+    if args.profile:
+        trace = tracer.export()
+        print(render_node_profile(trace))
+        print()
+        print(render_heatmap(trace))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Logging for the reproduction: one ``repro.*`` namespace, one knob.
+
+Library modules fetch a namespaced logger and emit through it; nothing
+is printed unless an entry point opts in::
+
+    from repro.obs.log import get_logger
+    log = get_logger("explore")          # -> logging.Logger "repro.explore"
+    log.info("campaign '%s': %d points", name, total)
+
+Entry points (CLIs, benchmark scripts) call :func:`configure` once::
+
+    configure(verbosity=1)               # 0=WARNING, 1=INFO, >=2=DEBUG
+
+``configure`` installs exactly one stream handler on the ``repro`` root
+logger (re-calling replaces it, so tests and REPLs can reconfigure
+freely) and leaves the global logging tree untouched — embedding
+applications keep full control by configuring ``logging`` themselves and
+never calling :func:`configure`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["ROOT_NAME", "configure", "get_logger"]
+
+ROOT_NAME = "repro"
+
+#: Marker attribute identifying the handler :func:`configure` installed.
+_HANDLER_MARK = "_repro_obs_handler"
+
+_LEVELS = {0: logging.WARNING, 1: logging.INFO}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro.*`` namespace.
+
+    ``get_logger()`` returns the root ``repro`` logger;
+    ``get_logger("explore")`` returns ``repro.explore``; names already
+    starting with ``repro`` are used as-is.
+    """
+    if not name:
+        return logging.getLogger(ROOT_NAME)
+    if name == ROOT_NAME or name.startswith(ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def configure(verbosity: int = 0, stream: "IO[str] | None" = None) -> logging.Logger:
+    """Route ``repro.*`` log records to ``stream`` at a verbosity level.
+
+    ``verbosity`` 0 shows warnings and errors, 1 adds progress
+    (``INFO``), 2 or more adds debug detail.  ``stream`` defaults to
+    stderr; benchmark scripts that interleave log lines with measured
+    tables pass ``sys.stdout``.  Idempotent: the previously-installed
+    handler (if any) is replaced, never stacked.
+    """
+    root = logging.getLogger(ROOT_NAME)
+    root.setLevel(_LEVELS.get(int(verbosity), logging.DEBUG))
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    # Keep records inside the installed handler: the repro tree should not
+    # double-print through an application's root handlers.
+    root.propagate = False
+    return root

@@ -1,0 +1,129 @@
+"""Profiles derived from a captured trace: cycle attribution + occupancy.
+
+Everything here consumes the exported Chrome trace-event object
+(:meth:`repro.obs.trace.ChromeTracer.export`), not the live tracer, so
+profiles can equally be computed from a ``trace.json`` loaded back from
+disk.  The central invariant — pinned by ``tests/obs`` — is that the
+per-node profile is a *partition* of the trace's total cycles-weighted
+activity:
+
+    sum(node_profile(trace).values()) == total_activity(trace)
+
+where one op event of duration ``d`` covering ``count`` threads
+contributes ``d * count`` (the batched engines emit one event per node
+per wave; the event engine emits one per thread with ``count`` 1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Mapping
+
+from repro.obs.trace import HOST_PID
+
+__all__ = [
+    "lane_busy",
+    "node_profile",
+    "op_events",
+    "render_heatmap",
+    "render_node_profile",
+    "total_activity",
+]
+
+_BAR_WIDTH = 40
+
+
+def _trace_events(trace: Mapping[str, Any]) -> Iterable[Mapping[str, Any]]:
+    return trace.get("traceEvents", [])
+
+
+def op_events(trace: Mapping[str, Any]) -> list[Mapping[str, Any]]:
+    """The cycle-domain op duration events of an exported trace."""
+    return [
+        e
+        for e in _trace_events(trace)
+        if e.get("cat") == "op" and e.get("ph") == "X" and e.get("pid") != HOST_PID
+    ]
+
+
+def _weight(event: Mapping[str, Any]) -> float:
+    return float(event.get("args", {}).get("count", 1))
+
+
+def _activity(event: Mapping[str, Any]) -> float:
+    # Zero-duration ops (e.g. latency-0 sources) still represent work;
+    # floor each firing at one cycle so attribution never loses them.
+    return max(1.0, float(event.get("dur", 0.0))) * _weight(event)
+
+
+def node_profile(trace: Mapping[str, Any]) -> dict[str, float]:
+    """Cycles-weighted activity attributed to each static node label."""
+    profile: dict[str, float] = defaultdict(float)
+    for event in op_events(trace):
+        profile[str(event["name"])] += _activity(event)
+    return dict(profile)
+
+
+def total_activity(trace: Mapping[str, Any]) -> float:
+    """Total cycles-weighted op activity of the trace."""
+    return sum(_activity(e) for e in op_events(trace))
+
+
+def lane_busy(trace: Mapping[str, Any]) -> dict[tuple[int, int], float]:
+    """Busy cycles (unweighted durations summed) per (core, PE lane)."""
+    busy: dict[tuple[int, int], float] = defaultdict(float)
+    for event in op_events(trace):
+        busy[(int(event["pid"]), int(event["tid"]))] += max(
+            1.0, float(event.get("dur", 0.0))
+        )
+    return dict(busy)
+
+
+def _lane_names(trace: Mapping[str, Any]) -> dict[tuple[int, int], str]:
+    names: dict[tuple[int, int], str] = {}
+    for event in _trace_events(trace):
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names[(int(event.get("pid", 0)), int(event.get("tid", 0)))] = str(
+                event.get("args", {}).get("name", "")
+            )
+    return names
+
+
+def render_node_profile(trace: Mapping[str, Any], top: int | None = 20) -> str:
+    """Per-node cycle attribution table, heaviest nodes first."""
+    profile = node_profile(trace)
+    total = sum(profile.values())
+    if not profile:
+        return "node profile: no op events captured"
+    ranked = sorted(profile.items(), key=lambda item: (-item[1], item[0]))
+    shown = ranked if top is None else ranked[:top]
+    width = max(len(name) for name, _ in shown)
+    lines = [f"node profile ({len(profile)} nodes, {total:.0f} cycle-threads total)"]
+    for name, activity in shown:
+        share = activity / total if total else 0.0
+        lines.append(f"  {name:<{width}}  {activity:>12.0f}  {share:>6.1%}")
+    if top is not None and len(ranked) > top:
+        rest = sum(a for _, a in ranked[top:])
+        lines.append(f"  {'(other)':<{width}}  {rest:>12.0f}  {rest / total:>6.1%}")
+    return "\n".join(lines)
+
+
+def render_heatmap(trace: Mapping[str, Any]) -> str:
+    """PE-occupancy heatmap: busy fraction of the traced span per lane."""
+    events = op_events(trace)
+    if not events:
+        return "occupancy heatmap: no op events captured"
+    start = min(float(e["ts"]) for e in events)
+    end = max(float(e["ts"]) + float(e.get("dur", 0.0)) for e in events)
+    span = max(1.0, end - start)
+    busy = lane_busy(trace)
+    names = _lane_names(trace)
+    lines = [f"PE occupancy over cycles {start:.0f}..{end:.0f}"]
+    for (pid, tid), cycles in sorted(busy.items()):
+        fraction = min(1.0, cycles / span)
+        bar = "#" * round(fraction * _BAR_WIDTH)
+        label = names.get((pid, tid), f"PE {tid}")
+        lines.append(
+            f"  core {pid:<3} {label:<10} |{bar:<{_BAR_WIDTH}}| {fraction:>6.1%}"
+        )
+    return "\n".join(lines)

@@ -67,6 +67,7 @@ import numpy as np
 from repro.config.system import MemorySystemConfig
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.tagcore import LruTagArray, LruTagStore, group_spans
+from repro.obs.trace import active_tracer
 
 __all__ = ["AnalyticMemoryModel"]
 
@@ -397,7 +398,10 @@ class AnalyticMemoryModel:
         prune_cycles: list[float] = []
         mshr_limit = 4 * level.mshr_entries
         next_access = self._l2_access
-        for k in np.flatnonzero(slow).tolist():
+        tracer = active_tracer()
+        walk_begin = tracer.clock() if tracer is not None else 0.0
+        residue = np.flatnonzero(slow).tolist()
+        for k in residue:
             line = int(lines[k])
             cycle = float(start[k])
             if hit[k] or (writes[k] and not write_allocate):
@@ -420,6 +424,10 @@ class AnalyticMemoryModel:
                 next_access(int(victim_line[k]), True, cycle)
             complete[k] = fill
             fill_time[k] = fill
+        if tracer is not None:
+            tracer.wall_event(
+                "residue walk", walk_begin, args={"accesses": len(residue)}
+            )
 
         # Stage 4: hit completions.  A hit on a line whose fill is still
         # outstanding merges and completes no earlier than the fill.

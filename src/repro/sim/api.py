@@ -25,6 +25,7 @@ from repro.compiler.pipeline import CompiledKernel
 from repro.errors import SimulationError
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.image import MemoryImage
+from repro.obs.trace import active_mode
 from repro.sim.cycle import ENGINES, CycleResult, _run_single_core
 from repro.sim.launch import KernelLaunch
 from repro.sim.multicore import MulticoreResult, _run_sharded_impl
@@ -146,6 +147,8 @@ def simulate(
             block=block,
             max_cycles=max_cycles,
         )
+    # Trace provenance: records say whether (and how) a run was traced.
+    raw.stats.extra["trace"] = active_mode()
     resolved = str(raw.stats.extra.get("engine", "event"))
     return SimulationResult(
         raw=raw, engine=resolved, cores=int(raw.stats.extra.get("cores", 1))

@@ -95,6 +95,7 @@ from repro.graph.semantics import PURE_OPCODES, coerce
 from repro.kernel.geometry import ThreadGeometry
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.image import MemoryImage
+from repro.obs.trace import MEM_LANE, active_tracer
 from repro.sim.analytic_cache import AnalyticMemoryModel
 from repro.sim.cycle import CycleResult, edge_timing, unit_latency
 from repro.sim.launch import KernelLaunch
@@ -285,6 +286,7 @@ class BatchedSimulator:
         memory: MemoryImage | None = None,
         dram_contention: int = 1,
         analytic_vectorised: bool = True,
+        trace_pid: int = 0,
     ) -> None:
         if compiled.graph.metadata.get("num_threads") != launch.graph.metadata.get(
             "num_threads"
@@ -363,6 +365,42 @@ class BatchedSimulator:
             self.hierarchy.l1.stats.hits,
         )
         self._completion = 0.0
+        self._trace = active_tracer()
+        self._trace_pid = int(trace_pid)
+        self._lane: dict[int, int] = {}
+        if self._trace is not None:
+            self._init_trace_lanes()
+
+    def _init_trace_lanes(self) -> None:
+        """Name this core's trace process and map nodes to their PE lanes."""
+        tracer = self._trace
+        assert tracer is not None
+        placement = (
+            self.compiled.mapping.placement.node_to_unit if self.compiled.mapping else {}
+        )
+        tracer.set_process_name(self._trace_pid, f"core {self._trace_pid}")
+        for node in self._order:
+            lane = int(placement.get(node.node_id, node.node_id))
+            self._lane[node.node_id] = lane
+            tracer.set_lane_name(self._trace_pid, lane, f"PE {lane}")
+
+    def _trace_node(self, node: Node, issue: np.ndarray, complete: np.ndarray) -> None:
+        """One count-weighted op event spanning the node's wave activity."""
+        tracer = self._trace
+        if tracer is None or issue.size == 0:
+            return
+        ts = float(issue.min())
+        finite = complete[np.isfinite(complete)]
+        end = float(finite.max()) if finite.size else ts
+        tracer.event(
+            node.label(),
+            "op",
+            ts,
+            end - ts,
+            pid=self._trace_pid,
+            tid=self._lane[node.node_id],
+            args={"count": int(issue.size), "cls": node.unit_class.name},
+        )
 
     def _reject_unsupported(self, compiled: CompiledKernel) -> None:
         """Graph-eligibility check; the window-batched subclass relaxes it."""
@@ -501,7 +539,14 @@ class BatchedSimulator:
 
         for start in range(0, self._thread_ids.size, self.wave_group):
             tids = self._thread_ids[start : start + self.wave_group]
-            self._run_wave(tids, start)
+            if self._trace is None:
+                self._run_wave(tids, start)
+            else:
+                begin = self._trace.clock()
+                self._run_wave(tids, start)
+                self._trace.wall_event(
+                    f"wave@{start}", begin, args={"threads": int(tids.size)}
+                )
 
         cycles = int(self._completion)
         if cycles > self.max_cycles:
@@ -561,6 +606,8 @@ class BatchedSimulator:
                     values[nid], avail[nid] = self._finish_prepassed(
                         node, load_results[nid]
                     )
+                    if self._trace is not None:
+                        self._trace_node(node, load_results[nid][0], avail[nid])
                 elif nid not in evaluated:
                     operands = [values[src] for _, src in inputs]
                     ready = inject
@@ -568,6 +615,8 @@ class BatchedSimulator:
                         ready = np.maximum(ready, avail[src] + self._edge_latency[(src, nid)])
                     issue = self._issue(nid, ready)
                     values[nid], avail[nid] = self._execute(node, tids, operands, issue)
+                    if self._trace is not None:
+                        self._trace_node(node, issue, avail[nid])
                 for _, src in inputs:
                     uses[src] -= 1
                     if uses[src] == 0:
@@ -595,6 +644,8 @@ class BatchedSimulator:
         topological position.
         """
         n = tids.size
+        tracer = self._trace
+        prepass_begin = tracer.clock() if tracer is not None else 0.0
         pending: list[tuple] = []
         for node in self._order:
             nid = node.node_id
@@ -616,8 +667,12 @@ class BatchedSimulator:
                 pending.append(entry)
             else:
                 values[nid], avail[nid] = self._execute(node, tids, operands, issue)
+                if tracer is not None:
+                    self._trace_node(node, issue, avail[nid])
             evaluated.add(nid)
 
+        if tracer is not None:
+            tracer.wall_event("prepass", prepass_begin, args={"loads": len(pending)})
         if not pending:
             return
         # The order key of an access is fully determined by its (load
@@ -671,9 +726,21 @@ class BatchedSimulator:
             sel = np.flatnonzero(valid_all)
             order = sel[np.argsort(composite[sel])]
         completions = np.full(total, np.nan)
+        walk_begin = tracer.clock() if tracer is not None else 0.0
         completions[order] = self._analytic.access_batch(
             address_all[order], issue_all[order], is_store=False
         )
+        if tracer is not None:
+            tracer.wall_event("tag walk", walk_begin, args={"accesses": int(order.size)})
+            if order.size:
+                ts = float(issue_all[order].min())
+                done = completions[order]
+                end = float(done[np.isfinite(done)].max()) if done.size else ts
+                tracer.event(
+                    "wave loads", "mem", ts, end - ts,
+                    pid=self._trace_pid, tid=MEM_LANE,
+                    args={"count": int(order.size)},
+                )
         for block, (node, issue, idx, _, valid) in enumerate(pending):
             load_results[node.node_id] = (
                 issue,
@@ -823,6 +890,13 @@ class BatchedSimulator:
         complete[order] = self._analytic.access_batch(
             addresses[order], issue[order], is_store=store_value is not None
         )
+        if self._trace is not None and idx.size:
+            ts = float(issue.min())
+            self._trace.event(
+                f"{'store' if store_value is not None else 'load'} {name}", "mem",
+                ts, float(complete.max()) - ts,
+                pid=self._trace_pid, tid=MEM_LANE, args={"count": int(idx.size)},
+            )
         if store_value is None:
             return _coerce_vec(backing[idx], node.dtype), complete
         backing[idx] = store_value
@@ -840,6 +914,13 @@ class BatchedSimulator:
         backing = self.memory.array(name)
         idx = self._checked_indices(node, index, spec.length)
         complete = issue + float(self.config.memory.scratchpad.access_latency)
+        if self._trace is not None and idx.size:
+            ts = float(issue.min())
+            self._trace.event(
+                f"{'scratch store' if store_value is not None else 'scratch load'} {name}",
+                "scratch", ts, float(complete.max()) - ts,
+                pid=self._trace_pid, tid=MEM_LANE, args={"count": int(idx.size)},
+            )
         scratch = self.hierarchy.scratchpad.stats
         if store_value is None:
             scratch.reads += idx.size

@@ -56,6 +56,7 @@ from repro.kernel.geometry import ThreadGeometry
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.image import MemoryImage
 from repro.memory.request import AccessType
+from repro.obs.trace import INJECT_LANE, active_tracer
 from repro.sim.launch import KernelLaunch
 from repro.sim.stats import ExecutionStats
 
@@ -170,6 +171,7 @@ class CycleSimulator:
         max_cycles: int = 20_000_000,
         thread_ids: "Sequence[int] | None" = None,
         memory: MemoryImage | None = None,
+        trace_pid: int = 0,
     ) -> None:
         if compiled.graph.metadata.get("num_threads") != launch.graph.metadata.get(
             "num_threads"
@@ -223,7 +225,16 @@ class CycleSimulator:
         self._retired = 0
         self._completion_cycle = 0
 
+        # Observability: the ambient tracer is bound once here; every hot
+        # path guards its hook with one `is not None` branch, so tracing
+        # off costs a pointer comparison per event and nothing else.
+        self._trace = active_tracer()
+        self._trace_pid = int(trace_pid)
+        self._lane: dict[int, int] = {}
+
         self._prepare()
+        if self._trace is not None:
+            self._init_trace_lanes()
 
     # ------------------------------------------------------------------ setup
     def _latency_of(self, node: Node) -> int:
@@ -253,6 +264,19 @@ class CycleSimulator:
                 )
         self._edge_latency, self._edge_hops = edge_timing(self.compiled)
         self._sink_done = {tid: 0 for tid in self._thread_ids}
+
+    def _init_trace_lanes(self) -> None:
+        """One trace lane per node, named after its hosting physical PE."""
+        tracer = self._trace
+        assert tracer is not None
+        placement = (
+            self.compiled.mapping.placement.node_to_unit if self.compiled.mapping else {}
+        )
+        tracer.set_process_name(self._trace_pid, f"core {self._trace_pid}")
+        for node in self.graph.nodes:
+            lane = int(placement.get(node.node_id, node.node_id))
+            self._lane[node.node_id] = lane
+            tracer.set_lane_name(self._trace_pid, lane, f"PE {lane}")
 
     # ------------------------------------------------------------------ events
     def _push(self, cycle: int, kind: int, payload: tuple) -> None:
@@ -314,6 +338,11 @@ class CycleSimulator:
             self._push(position // replicas, _EV_INJECT, (tid,))
 
     def _inject_thread(self, tid: int, cycle: int) -> None:
+        if self._trace is not None:
+            self._trace.instant(
+                "inject", "inject", cycle, pid=self._trace_pid, tid=INJECT_LANE,
+                args={"tid": tid},
+            )
         for node_id, state in self._nodes.items():
             node = state.node
             if node.opcode is Opcode.CONST:
@@ -340,6 +369,12 @@ class CycleSimulator:
                 src = elevator_source(node, tid, self.geometry.block_dim, self.num_threads)
                 if src is None:
                     self.stats.elevator_constants += 1
+                    if self._trace is not None:
+                        self._trace.instant(
+                            f"{node.label()} const", "interthread", cycle,
+                            pid=self._trace_pid, tid=self._lane[node_id],
+                            args={"tid": tid},
+                        )
                     self._send_to_successors(
                         node_id,
                         tid,
@@ -351,6 +386,11 @@ class CycleSimulator:
     def _token_arrival(self, node_id: int, port: int, tid: int, value: Any, cycle: int) -> None:
         state = self._nodes[node_id]
         self.stats.token_buffer_inserts += 1
+        if self._trace is not None:
+            self._trace.instant(
+                "token", "token", cycle, pid=self._trace_pid,
+                tid=self._lane[node_id], args={"tid": tid, "port": port},
+            )
         slot = state.pending.setdefault(tid, {})
         if port in slot:
             raise SimulationError(
@@ -381,6 +421,12 @@ class CycleSimulator:
         issue = self._issue_cycle(state, cycle)
         state.executions += 1
         self._count_unit_op(node)
+        if self._trace is not None:
+            self._trace.event(
+                node.label(), "op", issue, max(1, state.latency),
+                pid=self._trace_pid, tid=self._lane[node.node_id],
+                args={"tid": tid, "cls": node.unit_class.name},
+            )
 
         if op in PURE_OPCODES:
             value = evaluate_pure(node, operands)
@@ -435,6 +481,11 @@ class CycleSimulator:
         result = self.hierarchy.access(address, AccessType.LOAD, issue, node.param("elem_bytes", 4))
         value = coerce(self.memory.load(array, index), node.dtype)
         self.stats.global_loads += 1
+        if self._trace is not None:
+            self._trace.event(
+                f"load {array}", "mem", issue, result.complete_cycle - issue,
+                pid=self._trace_pid, tid=self._lane[node.node_id], args={"tid": tid},
+            )
         self._send_to_successors(node.node_id, tid, value, result.complete_cycle)
 
     def _execute_store(self, state: _NodeState, tid: int, operands: list[Any], issue: int) -> None:
@@ -448,6 +499,11 @@ class CycleSimulator:
         )
         self.memory.store(array, index, value)
         self.stats.global_stores += 1
+        if self._trace is not None:
+            self._trace.event(
+                f"store {array}", "mem", issue, result.complete_cycle - issue,
+                pid=self._trace_pid, tid=self._lane[node.node_id], args={"tid": tid},
+            )
         self._send_to_successors(node.node_id, tid, value, result.complete_cycle)
         self._sink_completed(tid, result.complete_cycle)
 
@@ -459,6 +515,12 @@ class CycleSimulator:
         index = int(operands[0])
         address = self.memory.address_of(array, index)
         complete = self.hierarchy.scratch_access(address, is_store, issue)
+        if self._trace is not None:
+            self._trace.event(
+                f"{'scratch store' if is_store else 'scratch load'} {array}",
+                "scratch", issue, complete - issue,
+                pid=self._trace_pid, tid=self._lane[node.node_id], args={"tid": tid},
+            )
         if is_store:
             value = operands[1]
             self.memory.store(array, index, value)
@@ -508,6 +570,11 @@ class CycleSimulator:
             value = coerce(self.memory.load(array, index), node.dtype)
             self.stats.global_loads += 1
             self.stats.eldst_memory_loads += 1
+            if self._trace is not None:
+                self._trace.event(
+                    f"eldst load {array}", "mem", issue, result.complete_cycle - issue,
+                    pid=self._trace_pid, tid=self._lane[node.node_id], args={"tid": tid},
+                )
             self._complete_eldst(state, tid, value, result.complete_cycle)
             return
         ready = state.forwards_ready.pop(tid, None)
@@ -540,6 +607,11 @@ class CycleSimulator:
     def _forward_ready(self, node_id: int, tid: int, value: Any, cycle: int) -> None:
         state = self._nodes[node_id]
         self.stats.eldst_forwards += 1
+        if self._trace is not None:
+            self._trace.instant(
+                "eldst_forward", "interthread", cycle,
+                pid=self._trace_pid, tid=self._lane[node_id], args={"tid": tid},
+            )
         waiting = state.waiting_consumers.pop(tid, None)
         if waiting is not None:
             issue, _ = waiting
@@ -571,6 +643,13 @@ class CycleSimulator:
         if len(arrived) == state.barrier_expected[group]:
             release = max(arrival for arrival, _ in arrived.values())
             release += self.config.latency.control
+            if self._trace is not None:
+                first = min(arrival for arrival, _ in arrived.values())
+                self._trace.event(
+                    "barrier_release", "interthread", first, release - first,
+                    pid=self._trace_pid, tid=self._lane[node.node_id],
+                    args={"group": group, "count": len(arrived)},
+                )
             for waiting_tid, (arrival, value) in arrived.items():
                 self.stats.barrier_wait_cycles += release - arrival
                 self.stats.lvc_accesses += 1
@@ -621,6 +700,7 @@ def build_simulator(
     thread_ids: Sequence[int] | None = None,
     memory: MemoryImage | None = None,
     dram_contention: int = 1,
+    trace_pid: int = 0,
 ):
     """Construct the simulator for ``engine`` (the single dispatch site).
 
@@ -655,6 +735,7 @@ def build_simulator(
             thread_ids=thread_ids,
             memory=memory,
             dram_contention=dram_contention,
+            trace_pid=trace_pid,
         )
     return CycleSimulator(
         compiled,
@@ -663,6 +744,7 @@ def build_simulator(
         max_cycles=max_cycles,
         thread_ids=thread_ids,
         memory=memory,
+        trace_pid=trace_pid,
     )
 
 

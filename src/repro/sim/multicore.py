@@ -48,6 +48,7 @@ from repro.graph.interthread import window_batch_problem
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.image import MemoryImage
 from repro.memory.shared_dram import SharedDRAM
+from repro.obs.trace import CORE_LANE, active_tracer
 from repro.sim.cycle import CycleResult, _run_single_core, build_simulator
 from repro.sim.launch import KernelLaunch
 from repro.sim.stats import ExecutionStats
@@ -254,9 +255,11 @@ def run_multicore(
     core_results: list[CycleResult] = []
     stats: ExecutionStats | None = None
     outputs: dict[str, list[Any]] = {}
+    tracer = active_tracer()
     for shard in shards:
         if shard.size == 0:
             continue
+        core = len(core_results)
         simulator = build_simulator(
             compiled,
             launch,
@@ -268,8 +271,21 @@ def run_multicore(
             thread_ids=shard,
             memory=memory,
             dram_contention=active if shared else 1,
+            trace_pid=core,
         )
-        result = simulator.run()
+        if tracer is None:
+            result = simulator.run()
+        else:
+            begin = tracer.clock()
+            result = simulator.run()
+            tracer.wall_event(
+                f"shard {core}", begin, args={"threads": int(shard.size)}
+            )
+            tracer.set_lane_name(core, CORE_LANE, "core span")
+            tracer.event(
+                f"core {core}", "shard", 0.0, float(result.cycles),
+                pid=core, tid=CORE_LANE, args={"threads": int(shard.size)},
+            )
         core_results.append(result)
         stats = result.stats if stats is None else stats.merge(result.stats)
         for name, values in result.outputs.items():

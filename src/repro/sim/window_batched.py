@@ -61,6 +61,7 @@ from repro.graph.opcodes import DType, Opcode
 from repro.graph.semantics import coerce
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.image import MemoryImage
+from repro.obs.trace import MEM_LANE
 from repro.sim.batched import _NP_DTYPE, BatchedSimulator, _coerce_vec
 from repro.sim.cycle import CycleResult, unit_latency
 from repro.sim.launch import KernelLaunch
@@ -103,6 +104,7 @@ class WindowBatchedSimulator(BatchedSimulator):
         memory: MemoryImage | None = None,
         dram_contention: int = 1,
         analytic_vectorised: bool = True,
+        trace_pid: int = 0,
     ) -> None:
         super().__init__(
             compiled,
@@ -114,6 +116,7 @@ class WindowBatchedSimulator(BatchedSimulator):
             memory=memory,
             dram_contention=dram_contention,
             analytic_vectorised=analytic_vectorised,
+            trace_pid=trace_pid,
         )
         if self._thread_ids.size != self.num_threads:
             problem = thread_subset_problem(
@@ -206,6 +209,13 @@ class WindowBatchedSimulator(BatchedSimulator):
         avail = np.where(valid, complete_valid, self._wave_inject + latency)
         self.stats.elevator_retags += n_valid
         self.stats.elevator_constants += n - n_valid
+        if self._trace is not None and n:
+            ts = float(issue.min())
+            self._trace.event(
+                f"{node.label()} retag", "interthread", ts, float(avail.max()) - ts,
+                pid=self._trace_pid, tid=self._lane[node.node_id],
+                args={"retags": n_valid, "constants": n - n_valid},
+            )
         return value, avail
 
     def _execute_eldst_vec(
@@ -221,9 +231,23 @@ class WindowBatchedSimulator(BatchedSimulator):
             np.lexsort((np.arange(head_rows.size), issue[head_rows]))
         ]
         load_complete = np.full(issue.size, np.nan)
+        walk_begin = self._trace.clock() if self._trace is not None else 0.0
         load_complete[order] = self._analytic.access_batch(
             addresses[order], issue[order], is_store=False
         )
+        if self._trace is not None:
+            self._trace.wall_event(
+                "tag walk", walk_begin, args={"accesses": int(order.size)}
+            )
+            if order.size:
+                ts = float(issue[order].min())
+                done = load_complete[order]
+                end = float(done[np.isfinite(done)].max()) if done.size else ts
+                self._trace.event(
+                    f"eldst loads {node.param('array')}", "mem", ts, end - ts,
+                    pid=self._trace_pid, tid=MEM_LANE,
+                    args={"count": int(order.size)},
+                )
         return self._eldst_resolve(node, issue, idx, heads, load_complete)
 
     def _eldst_heads(
@@ -299,18 +323,32 @@ class WindowBatchedSimulator(BatchedSimulator):
         value[heads] = _coerce_vec(backing[idx[heads]], node.dtype)
         complete[heads] = load_complete[heads] + latency
 
-        if int(pos.max(initial=0)) > 0:
+        depth = int(pos.max(initial=0))
+        if depth > 0:
+            fwd_begin = self._trace.clock() if self._trace is not None else 0.0
             rows_by_depth = np.argsort(pos, kind="stable")
             bounds = np.cumsum(np.bincount(pos))[:-1]
             for rows in np.split(rows_by_depth, bounds)[1:]:
                 src = dep[rows]
                 value[rows] = value[src]
                 complete[rows] = np.maximum(issue[rows], complete[src]) + latency
+            if self._trace is not None:
+                self._trace.wall_event(
+                    "forwarding levels", fwd_begin, args={"depth": depth}
+                )
 
         n_heads = int(heads.sum())
+        n_forwards = int(table.receives.sum())
         self.stats.global_loads += n_heads
         self.stats.eldst_memory_loads += n_heads
-        self.stats.eldst_forwards += int(table.receives.sum())
+        self.stats.eldst_forwards += n_forwards
+        if self._trace is not None and n:
+            ts = float(issue.min())
+            self._trace.event(
+                f"{node.label()} forward", "interthread", ts, float(complete.max()) - ts,
+                pid=self._trace_pid, tid=self._lane[node.node_id],
+                args={"heads": n_heads, "forwards": n_forwards, "depth": depth},
+            )
         return value, complete
 
     def _execute_barrier_vec(
@@ -329,6 +367,17 @@ class WindowBatchedSimulator(BatchedSimulator):
         # One LVC write parking each value, one read releasing it.
         self.stats.lvc_accesses += 2 * n
         self.stats.barrier_wait_cycles += int(round(float((per_thread - issue).sum())))
+        if self._trace is not None and n:
+            first = np.full(unique.size, np.inf)
+            np.minimum.at(first, inverse, issue)
+            counts = np.bincount(inverse, minlength=unique.size)
+            for g in range(unique.size):
+                self._trace.event(
+                    "barrier_release", "interthread", float(first[g]),
+                    float(release[g] - first[g]),
+                    pid=self._trace_pid, tid=self._lane[node.node_id],
+                    args={"group": int(unique[g]), "count": int(counts[g])},
+                )
         return operands[0], per_thread + float(self._lvc_latency)
 
     # --------------------------------------------------------------- prepass

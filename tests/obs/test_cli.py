@@ -1,0 +1,72 @@
+"""End-to-end tests for ``python -m repro.obs trace``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.__main__ import main
+
+
+def test_trace_command_writes_valid_chrome_trace(tmp_path):
+    out = tmp_path / "trace.json"
+    rc = main(["trace", "matrixMul", "--variant", "stream", "--param", "dim=4", "--out", str(out)])
+    assert rc == 0
+    with open(out, encoding="utf-8") as handle:
+        trace = json.load(handle)
+    assert trace["otherData"]["mode"] == "full"
+    assert trace["otherData"]["dropped"] == 0
+    events = trace["traceEvents"]
+    assert any(e["ph"] == "M" for e in events)
+    assert any(e.get("cat") == "op" and e["ph"] == "X" for e in events)
+
+
+def test_trace_command_ring_mode_bounds_the_buffer(tmp_path):
+    out = tmp_path / "ring.json"
+    rc = main(
+        [
+            "trace",
+            "matrixMul",
+            "--variant",
+            "stream",
+            "--param",
+            "dim=4",
+            "--ring",
+            "8",
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    with open(out, encoding="utf-8") as handle:
+        trace = json.load(handle)
+    assert trace["otherData"]["mode"] == "ring"
+    assert trace["otherData"]["events"] <= 8
+    assert trace["otherData"]["dropped"] > 0
+
+
+def test_trace_command_profile_prints_attribution(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    rc = main(
+        [
+            "trace",
+            "matrixMul",
+            "--variant",
+            "stream",
+            "--param",
+            "dim=4",
+            "--out",
+            str(out),
+            "--profile",
+        ]
+    )
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "node profile" in printed
+    assert "PE occupancy" in printed
+
+
+def test_trace_command_unknown_workload_fails_cleanly(tmp_path, capsys):
+    rc = main(["trace", "noSuchKernel", "--out", str(tmp_path / "x.json")])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+    assert not (tmp_path / "x.json").exists()

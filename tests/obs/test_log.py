@@ -1,0 +1,59 @@
+"""Unit tests for the repro.* logging tree."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+from repro.obs.log import _HANDLER_MARK, configure, get_logger
+
+
+def _marked_handlers(root: logging.Logger) -> list[logging.Handler]:
+    return [h for h in root.handlers if getattr(h, _HANDLER_MARK, False)]
+
+
+def test_get_logger_namespaces_under_repro():
+    assert get_logger().name == "repro"
+    assert get_logger("explore").name == "repro.explore"
+    # Already-qualified names are not double-prefixed.
+    assert get_logger("repro.explore").name == "repro.explore"
+
+
+def test_configure_is_idempotent():
+    root = configure(verbosity=1)
+    assert root is configure(verbosity=1)
+    assert len(_marked_handlers(root)) == 1
+    configure(verbosity=0)
+    assert len(_marked_handlers(root)) == 1
+
+
+def test_verbosity_maps_to_levels():
+    root = configure(verbosity=0)
+    assert root.level == logging.WARNING
+    assert configure(verbosity=1).level == logging.INFO
+    assert configure(verbosity=2).level == logging.DEBUG
+    configure(verbosity=0)
+
+
+def test_messages_reach_the_configured_stream():
+    stream = io.StringIO()
+    configure(verbosity=1, stream=stream)
+    try:
+        log = get_logger("obs.test")
+        log.info("simulated %d points", 4)
+        log.debug("hidden at verbosity 1")
+        assert stream.getvalue() == "simulated 4 points\n"
+    finally:
+        configure(verbosity=0)
+
+
+def test_quiet_suppresses_info_but_not_errors():
+    stream = io.StringIO()
+    configure(verbosity=0, stream=stream)
+    try:
+        log = get_logger("obs.test")
+        log.info("progress line")
+        log.error("FAIL: broke")
+        assert stream.getvalue() == "FAIL: broke\n"
+    finally:
+        configure(verbosity=0)

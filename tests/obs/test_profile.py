@@ -1,0 +1,71 @@
+"""Unit tests for trace-derived profiles (cycle attribution, occupancy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.pipeline import compile_kernel
+from repro.obs.profile import (
+    lane_busy,
+    node_profile,
+    render_heatmap,
+    render_node_profile,
+    total_activity,
+)
+from repro.obs.trace import ChromeTracer, tracing
+from repro.sim import simulate
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def traced_export():
+    prepared = get_workload("matrixMul").prepare({"dim": 4})
+    launch = prepared.launch("stream")
+    compiled = compile_kernel(launch.graph)
+    tracer = ChromeTracer()
+    with tracing(tracer):
+        simulate(compiled, launch)
+    return tracer.export()
+
+
+def test_node_profile_partitions_total_activity(traced_export):
+    profile = node_profile(traced_export)
+    assert profile, "traced run produced no op events"
+    assert sum(profile.values()) == pytest.approx(total_activity(traced_export))
+    assert all(activity > 0 for activity in profile.values())
+
+
+def test_node_profile_from_synthetic_trace():
+    tracer = ChromeTracer()
+    tracer.event("fma#1", "op", ts=0.0, dur=4.0, args={"count": 16})
+    tracer.event("fma#1", "op", ts=10.0, dur=4.0, args={"count": 16})
+    tracer.event("load#2", "op", ts=0.0, dur=0.0)  # floored at one cycle
+    tracer.event("residue walk", "host", ts=0.0, dur=5.0)  # not an op event
+    trace = tracer.export()
+    profile = node_profile(trace)
+    assert profile == {"fma#1": 128.0, "load#2": 1.0}
+    assert total_activity(trace) == 129.0
+
+
+def test_render_node_profile_ranks_and_caps(traced_export):
+    rendered = render_node_profile(traced_export, top=2)
+    lines = rendered.splitlines()
+    assert "node profile" in lines[0]
+    assert len(lines) == 4  # header + 2 nodes + "(other)"
+    assert "(other)" in lines[-1]
+    assert "100.0%" not in lines[1]  # no single node owns the whole run
+
+
+def test_render_heatmap_shows_each_lane(traced_export):
+    rendered = render_heatmap(traced_export)
+    assert rendered.startswith("PE occupancy")
+    assert len(rendered.splitlines()) == 1 + len(lane_busy(traced_export))
+    assert "|" in rendered and "%" in rendered
+
+
+def test_empty_trace_renders_gracefully():
+    empty = ChromeTracer().export()
+    assert node_profile(empty) == {}
+    assert total_activity(empty) == 0.0
+    assert "no op events" in render_node_profile(empty)
+    assert "no op events" in render_heatmap(empty)
