@@ -7,11 +7,13 @@ memory stream through the vectorised per-set tag walk of
 ``sim/analytic_cache.py``.  The window-batched engine extends the same
 machinery to feed-forward communicating kernels: ELEVATOR/ELDST traffic
 resolves as vector gathers and BARRIER groups as segmented reductions.
-On the inter-thread-free streaming variants of matmul / convolution /
-reduce at 4k+ threads the batched engine must be at least 60x faster
-wall-clock; on the communicating matmul ``dmt``/``dmt_win`` variants the
-window-batched engine must be at least 30x faster — always with
-bit-identical outputs and identical operation counters.
+On the inter-thread-free streaming variants at 4k+ threads the batched
+engine must be at least 60x faster wall-clock — including spmv's
+``stream`` row, which exercises the per-node replay fallback for
+data-dependent load indices (RA042); on the communicating
+``dmt``/``dmt_win`` variants the window-batched engine must be at least
+30x faster — always with bit-identical outputs and identical operation
+counters.
 
 Measurement protocol: the batched engine is warmed once (NumPy buffer
 pools, the cached static analysis of the compiled kernel) and then timed
@@ -62,8 +64,11 @@ CASES = (
     ("matrixMul", "stream", {"dim": 64}, "c", "batched", MIN_SPEEDUP_STREAM),
     ("convolution", "stream", {"n": 4096}, "out", "batched", MIN_SPEEDUP_STREAM),
     ("reduce", "stream", {"n": 4096, "window": 32}, "partials", "batched", MIN_SPEEDUP_STREAM),
+    ("hotspot", "stream", {"dim": 64}, "out", "batched", MIN_SPEEDUP_STREAM),
+    ("spmv", "stream", {"rows": 512, "max_nnz": 8}, "partial", "batched", MIN_SPEEDUP_STREAM),
     ("matrixMul", "dmt", {"dim": 64}, "c", "window-batched", MIN_SPEEDUP_WINDOW),
     ("matrixMul", "dmt_win", {"dim": 64}, "c", "window-batched", MIN_SPEEDUP_WINDOW),
+    ("lud", "dmt_win", {"dim": 64}, "updated", "window-batched", MIN_SPEEDUP_WINDOW),
 )
 
 #: Counters that must be exactly equal between the two engines.
@@ -77,10 +82,12 @@ MIN_SPEEDUP_SANITY = 1.0
 
 
 def cases_for_threads(threads: int) -> tuple[tuple[str, str, dict, str, str, float], ...]:
-    """The five cases scaled to roughly ``threads`` threads."""
+    """The gated cases scaled to roughly ``threads`` threads."""
     dim = max(2, int(round(threads ** 0.5)))
     window = min(32, threads)
     reduce_n = -(-threads // window) * window  # multiple of the window
+    max_nnz = 8 if threads >= 16 else 2
+    spmv_rows = max(1, threads // max_nnz)
     return (
         ("matrixMul", "stream", {"dim": dim}, "c", "batched", MIN_SPEEDUP_STREAM),
         ("convolution", "stream", {"n": threads}, "out", "batched", MIN_SPEEDUP_STREAM),
@@ -92,8 +99,18 @@ def cases_for_threads(threads: int) -> tuple[tuple[str, str, dict, str, str, flo
             "batched",
             MIN_SPEEDUP_STREAM,
         ),
+        ("hotspot", "stream", {"dim": dim}, "out", "batched", MIN_SPEEDUP_STREAM),
+        (
+            "spmv",
+            "stream",
+            {"rows": spmv_rows, "max_nnz": max_nnz},
+            "partial",
+            "batched",
+            MIN_SPEEDUP_STREAM,
+        ),
         ("matrixMul", "dmt", {"dim": dim}, "c", "window-batched", MIN_SPEEDUP_WINDOW),
         ("matrixMul", "dmt_win", {"dim": dim}, "c", "window-batched", MIN_SPEEDUP_WINDOW),
+        ("lud", "dmt_win", {"dim": dim}, "updated", "window-batched", MIN_SPEEDUP_WINDOW),
     )
 
 

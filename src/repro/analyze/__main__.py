@@ -29,15 +29,6 @@ from repro.errors import ReproError
 GRAPH_VARIANTS = ("mt", "dmt", "dmt_win", "stream")
 
 
-def _available_variants(workload: Any) -> list[str]:
-    variants = ["mt", "dmt"]
-    if workload.has_windowed_variant():
-        variants.append("dmt_win")
-    if workload.has_stream_variant():
-        variants.append("stream")
-    return variants
-
-
 def _build_graph(workload: Any, variant: str) -> Any:
     params = workload.default_params()
     if variant == "mt":
@@ -104,13 +95,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.compiler.pipeline import compile_kernel
-    from repro.workloads.registry import all_workloads, get_workload
+    from repro.workloads.registry import (
+        available_variants,
+        get_workload,
+        registry_kernels,
+    )
 
     if args.registry:
-        targets = [(w, v) for w in all_workloads() for v in _available_variants(w)]
+        targets = registry_kernels()
     elif args.workload:
         workload = get_workload(args.workload)
-        variants = args.variant or _available_variants(workload)
+        variants = args.variant or list(available_variants(workload))
         targets = [(workload, v) for v in variants]
     else:
         parser.error("give a workload name or --registry")

@@ -26,7 +26,7 @@ from repro.power.model import EnergyBreakdown, cgra_energy, fermi_energy
 from repro.power.tables import EnergyTable
 from repro.sim import simulate
 from repro.workloads.base import ARCHITECTURES, PreparedWorkload, Workload
-from repro.workloads.registry import all_workloads, get_workload
+from repro.workloads.registry import get_workload, paper_workloads
 
 __all__ = [
     "GRAPH_VARIANTS",
@@ -278,7 +278,7 @@ def run_suite(
 ) -> ComparisonTable:
     """Run the full Table 3 suite on all three architectures (Figs. 11/12)."""
     table = ComparisonTable()
-    selected = [_resolve(w) for w in (workloads or all_workloads())]
+    selected = [_resolve(w) for w in (workloads or paper_workloads())]
     for workload in selected:
         overrides = (params or {}).get(workload.name)
         results = compare_architectures(

@@ -31,7 +31,7 @@ from repro.config.system import SystemConfig, default_system_config
 from repro.harness.experiments import run_suite
 from repro.power.tables import EnergyTable
 from repro.workloads.base import Workload
-from repro.workloads.registry import all_workloads
+from repro.workloads.registry import paper_workloads
 from repro.workloads.registry import table3 as table3_rows
 
 __all__ = [
@@ -105,7 +105,7 @@ def figure5(
     buffer_size: int = 16,
 ) -> FigureResult:
     """Figure 5: CDF of ΔTID transmission distances across the suite."""
-    selected = list(workloads or all_workloads())
+    selected = list(workloads or paper_workloads())
     overrides = params if params is not None else DEFAULT_SUITE_PARAMS
     graphs = []
     for workload in selected:

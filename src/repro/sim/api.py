@@ -112,7 +112,9 @@ def simulate(
     one when the graph demands it (a benchmark sweep forcing
     ``"batched"`` over a barrier kernel runs window-batched or event
     instead of failing); the *resolved* engine is what
-    ``result.engine`` and ``stats.extra["engine"]`` report.
+    ``result.engine`` and ``stats.extra["engine"]`` report, and a
+    degraded run records the original request in
+    ``stats.extra["requested_engine"]``.
 
     ``cores`` (default ``SystemConfig.cores``) shards the launch
     block-cyclically across simulated cores when a window-aligned cut

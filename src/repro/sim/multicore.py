@@ -198,12 +198,14 @@ def _best_effort_engine(engine: str, graph: DataflowGraph) -> str:
     Suite-wide sweeps force one engine across every workload
     (``--engine batched``); rather than fail on the first kernel the
     engine cannot run, the request is honoured wherever legal and
-    quietly degraded elsewhere: ``batched`` on a communicating graph
-    becomes ``window-batched`` when the traffic is feed-forward (else
+    degraded elsewhere: ``batched`` on a communicating graph becomes
+    ``window-batched`` when the traffic is feed-forward (else
     ``event``), ``window-batched`` becomes ``batched`` on an
     inter-thread-free graph and ``event`` on a graph it cannot batch.
     The resolved engine is always recorded in
-    ``stats.extra["engine"]``, so records never lie about what ran.
+    ``stats.extra["engine"]``, and a degraded run additionally records
+    the original request in ``stats.extra["requested_engine"]``, so
+    records never lie about what ran — or about what was asked for.
     """
     if engine == "batched" and graph.has_interthread():
         return "window-batched" if window_batch_problem(graph) is None else "event"
@@ -238,6 +240,7 @@ def run_multicore(
             f"cannot shard '{compiled.graph.name}' across {cores} cores: "
             f"{plan.fallback_reason}"
         )
+    requested = engine
     engine = _best_effort_engine(engine, compiled.graph)
 
     shards = shard_threads(compiled.num_threads, cores, plan.block)
@@ -300,6 +303,8 @@ def run_multicore(
     stats.extra["sharded_cores"] = len(core_results)
     stats.extra["shard_block"] = plan.block
     stats.extra["shard_window_lcm"] = plan.window_lcm
+    if requested not in ("auto", engine):
+        stats.extra["requested_engine"] = requested
 
     return MulticoreResult(
         cycles=stats.cycles,
@@ -335,21 +340,26 @@ def _run_sharded_impl(
     batched``) run everything instead of failing on the first barrier.
     """
     cores = compiled.config.cores if cores is None else int(cores)
+    requested = engine
     engine = _best_effort_engine(engine, compiled.graph)
     plan = plan_shards(compiled, cores=cores, block=block)
     if not plan.sharded:
         result = _run_single_core(
             compiled, launch, engine=engine, max_cycles=max_cycles
         )
+        if requested not in ("auto", engine):
+            result.stats.extra["requested_engine"] = requested
         if cores > 1 and plan.fallback_reason is not None:
             result.stats.extra["shard_fallback_reason"] = plan.fallback_reason
             result.stats.extra["shard_fallback_code"] = plan.fallback_code
         return result
+    # Pass the original request through: run_multicore re-degrades it and
+    # records the requested vs resolved pair itself.
     return run_multicore(
         compiled,
         launch,
         cores=cores,
-        engine=engine,
+        engine=requested,
         block=plan.block,
         max_cycles=max_cycles,
     )

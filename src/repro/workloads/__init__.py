@@ -11,11 +11,16 @@ from repro.workloads.reduce import ReduceWorkload, windowed_partial_sums
 from repro.workloads.registry import (
     WORKLOAD_CLASSES,
     all_workloads,
+    available_variants,
     get_workload,
+    paper_workloads,
+    registry_kernel_count,
+    registry_kernels,
     table3,
     workload_names,
 )
 from repro.workloads.scan import ScanWorkload
+from repro.workloads.spmv import SpmvWorkload
 from repro.workloads.srad import SradWorkload
 
 __all__ = [
@@ -29,11 +34,16 @@ __all__ = [
     "PreparedWorkload",
     "ReduceWorkload",
     "ScanWorkload",
+    "SpmvWorkload",
     "SradWorkload",
     "WORKLOAD_CLASSES",
     "Workload",
     "all_workloads",
+    "available_variants",
     "get_workload",
+    "paper_workloads",
+    "registry_kernel_count",
+    "registry_kernels",
     "table3",
     "windowed_partial_sums",
     "workload_names",

@@ -94,6 +94,32 @@ class BpnnWorkload(Workload):
         b.store("partial", tid, activated)
         return b.finish()
 
+    # ---------------------------------------------------------------- stream
+    def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Inter-thread-free variant: every thread accumulates its whole
+        column suffix from global memory (``n_in`` load pairs per thread)
+        instead of joining the doubling tree.  The tree itself spans the
+        ``ty`` dimension of the block, so bpnn has no window-bounded dMT
+        form — this is its only batched-engine variant."""
+        n_in, n_out = params["n_in"], params["n_out"]
+        b = KernelBuilder("bpnn_stream", (n_out, n_in))
+        b.global_array("input_units", n_in)
+        b.global_array("weights", n_in * n_out)
+        b.global_array("partial", n_in * n_out)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+
+        acc = b.load("input_units", ty) * b.load("weights", tid)
+        for d in range(1, n_in):
+            j = b.minimum(ty + d, n_in - 1)
+            unit = b.load("input_units", j)
+            weight = b.load("weights", j * n_out + tx)
+            acc = acc + b.select(ty < (n_in - d), unit * weight, 0.0)
+        activated = b.rcp(b.exp(-acc) + 1.0)
+        b.store("partial", tid, activated)
+        return b.finish()
+
     # -------------------------------------------------------------------- MT
     def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
         n_in, n_out = params["n_in"], params["n_out"]

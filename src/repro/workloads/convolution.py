@@ -18,6 +18,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.errors import WorkloadError
 from repro.graph.dfg import DataflowGraph
 from repro.gpgpu.isa import Imm, Op
 from repro.gpgpu.program import SimtProgram, SimtProgramBuilder
@@ -65,6 +66,46 @@ class ConvolutionWorkload(Workload):
         result = left * k0 + elem * k1 + right * k2
         b.store("out", tid, result)
         return b.finish()
+
+    # -------------------------------------------------------------- windowed
+    def build_dmt_windowed(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Window-bounded dMT variant for multi-core sharding.
+
+        The ±1 neighbour exchange is bounded to windows of ``n / 4``
+        threads; the one thread on each side of a window boundary
+        re-loads the neighbour element the window cut off (zero-masked at
+        the true margins, exactly like the streaming kernel).
+        """
+        n, k0, k1, k2 = params["n"], params["k0"], params["k1"], params["k2"]
+        window = self._window(n)
+        b = KernelBuilder("convolution_dmt_win", n)
+        b.global_array("img", n)
+        b.global_array("out", n)
+        tid = b.thread_idx_x()
+        elem = b.load("img", tid)
+        b.tag_value("elem", elem)
+        win_pos = tid % window
+
+        left_elev = b.from_thread_or_const("elem", -1, 0.0, window=window)
+        left_raw = b.load("img", b.maximum(tid - 1, 0))
+        left_reload = b.select(tid > 0, left_raw, 0.0)
+        left = b.select(win_pos.eq(0), left_reload, left_elev)
+
+        right_elev = b.from_thread_or_const("elem", +1, 0.0, window=window)
+        right_raw = b.load("img", b.minimum(tid + 1, n - 1))
+        right_reload = b.select(tid < (n - 1), right_raw, 0.0)
+        right = b.select(win_pos.eq(window - 1), right_reload, right_elev)
+
+        result = left * k0 + elem * k1 + right * k2
+        b.store("out", tid, result)
+        return b.finish()
+
+    def _window(self, n: int) -> int:
+        if n % 4 != 0 or n < 8:
+            raise WorkloadError(
+                "convolution dmt_win requires n divisible by 4 (window = n / 4)"
+            )
+        return n // 4
 
     # ---------------------------------------------------------------- stream
     def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:

@@ -106,6 +106,91 @@ class HotspotWorkload(Workload):
         b.store("out", tid, centre + delta * step)
         return b.finish()
 
+    # -------------------------------------------------------------- windowed
+    def build_dmt_windowed(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Row-windowed dMT variant for multi-core sharding.
+
+        The stencil windows naturally at row granularity: the horizontal
+        (W/E) exchange stays ``fromThreadOrConst`` with a window of one
+        grid row — the window edges coincide with the grid edges, where
+        the in-bounds selects discard the value anyway — while the
+        vertical (N/S) exchange, which crosses rows in linear TID space,
+        becomes a clamped re-load of the neighbour's temperature.
+        """
+        dim = params["dim"]
+        step, rx, ry, rz = params["step"], params["rx"], params["ry"], params["rz"]
+        ambient = params["ambient"]
+        b = KernelBuilder("hotspot_dmt_win", (dim, dim))
+        b.global_array("temp", dim * dim)
+        b.global_array("power", dim * dim)
+        b.global_array("out", dim * dim)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+        centre = b.load("temp", tid)
+        dissipated = b.load("power", tid)
+        b.tag_value("cell_temp", centre)
+
+        def forwarded(offset: tuple[int, int], in_bounds):
+            remote = b.from_thread_or_const("cell_temp", offset, 0.0, window=dim)
+            return b.select(in_bounds, remote - centre, 0.0)
+
+        def reloaded(index, in_bounds):
+            clamped = b.minimum(b.maximum(index, 0), dim * dim - 1)
+            remote = b.load("temp", clamped)
+            return b.select(in_bounds, remote - centre, 0.0)
+
+        d_n = reloaded(tid - dim, ty > 0)
+        d_s = reloaded(tid + dim, ty < (dim - 1))
+        d_w = forwarded((-1, 0), tx > 0)
+        d_e = forwarded((+1, 0), tx < (dim - 1))
+
+        delta = (
+            dissipated
+            + (d_n + d_s) * ry
+            + (d_e + d_w) * rx
+            + (b.const(ambient) - centre) * rz
+        )
+        b.store("out", tid, centre + delta * step)
+        return b.finish()
+
+    # ---------------------------------------------------------------- stream
+    def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Inter-thread-free variant: all four neighbour temperatures are
+        re-loaded from global memory with clamped indices instead of being
+        received from adjacent threads."""
+        dim = params["dim"]
+        step, rx, ry, rz = params["step"], params["rx"], params["ry"], params["rz"]
+        ambient = params["ambient"]
+        b = KernelBuilder("hotspot_stream", (dim, dim))
+        b.global_array("temp", dim * dim)
+        b.global_array("power", dim * dim)
+        b.global_array("out", dim * dim)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+        centre = b.load("temp", tid)
+        dissipated = b.load("power", tid)
+
+        def diff(index, in_bounds):
+            clamped = b.minimum(b.maximum(index, 0), dim * dim - 1)
+            remote = b.load("temp", clamped)
+            return b.select(in_bounds, remote - centre, 0.0)
+
+        d_n = diff(tid - dim, ty > 0)
+        d_s = diff(tid + dim, ty < (dim - 1))
+        d_w = diff(tid - 1, tx > 0)
+        d_e = diff(tid + 1, tx < (dim - 1))
+
+        delta = (
+            dissipated
+            + (d_n + d_s) * ry
+            + (d_e + d_w) * rx
+            + (b.const(ambient) - centre) * rz
+        )
+        b.store("out", tid, centre + delta * step)
+        return b.finish()
+
     # -------------------------------------------------------------------- MT
     def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
         dim = params["dim"]

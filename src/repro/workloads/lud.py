@@ -80,6 +80,65 @@ class LudWorkload(Workload):
         b.store("updated", tid, original - acc)
         return b.finish()
 
+    # -------------------------------------------------------------- windowed
+    def build_dmt_windowed(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Row-windowed dMT variant for multi-core sharding.
+
+        Mirrors the matmul windowed kernel: the perimeter-column chain
+        runs along rows (one window of ``dim`` linear TIDs per row, so a
+        shard boundary between rows is legal), while the perimeter-row
+        values — whose forwarding chain spans columns, i.e. the whole
+        block in linear TID space — are loaded directly by every thread.
+        """
+        dim = params["dim"]
+        b = KernelBuilder("lud_dmt_win", (dim, dim))
+        b.global_array("block", dim * dim)
+        b.global_array("peri_col", dim * dim)
+        b.global_array("peri_row", dim * dim)
+        b.global_array("updated", dim * dim)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+
+        en_col = tx.eq(0)
+        row_base = ty * dim
+
+        acc = b.const(0.0)
+        for k in range(dim):
+            col_val = b.from_thread_or_mem(
+                "peri_col", row_base + k, en_col, src_offset=(-1, 0), window=dim
+            )
+            row_val = b.load("peri_row", b.const(k * dim) + tx)
+            acc = b.fma(col_val, row_val, acc)
+        original = b.load("block", tid)
+        b.store("updated", tid, original - acc)
+        return b.finish()
+
+    # ---------------------------------------------------------------- stream
+    def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Inter-thread-free variant: every thread loads its full perimeter
+        row and column itself (``2 * dim`` loads per thread, the naive
+        kernel the forwarding optimisation starts from)."""
+        dim = params["dim"]
+        b = KernelBuilder("lud_stream", (dim, dim))
+        b.global_array("block", dim * dim)
+        b.global_array("peri_col", dim * dim)
+        b.global_array("peri_row", dim * dim)
+        b.global_array("updated", dim * dim)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+
+        row_base = ty * dim
+        acc = b.const(0.0)
+        for k in range(dim):
+            col_val = b.load("peri_col", row_base + k)
+            row_val = b.load("peri_row", b.const(k * dim) + tx)
+            acc = b.fma(col_val, row_val, acc)
+        original = b.load("block", tid)
+        b.store("updated", tid, original - acc)
+        return b.finish()
+
     # -------------------------------------------------------------------- MT
     def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
         dim = params["dim"]

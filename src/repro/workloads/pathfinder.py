@@ -20,6 +20,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.errors import WorkloadError
 from repro.graph.dfg import DataflowGraph
 from repro.gpgpu.isa import Imm, Op
 from repro.gpgpu.program import SimtProgram, SimtProgramBuilder
@@ -74,6 +75,108 @@ class PathfinderWorkload(Workload):
             step_cost = b.load("wall", b.const(r * cols) + tid)
             running = step_cost + best
         b.store("result", tid, running)
+        return b.finish()
+
+    # --------------------------------------------------------------- helpers
+    def _cost_lattice(self, b: KernelBuilder, tid, cols: int, radius: int, depth: int):
+        """Running costs recomputed from ``wall`` loads only (no exchange).
+
+        ``lattice[r][o]`` is the running cost of column ``tid + o`` after
+        row ``r``, computed entirely inside the owning thread: level 0 is
+        the (clamped, edge-masked) wall row, and each later level applies
+        the same ``wall + min(left, centre, right)`` recurrence as the
+        communicating kernels — in the same operation order, so the
+        values match the forwarded ones exactly.  Level ``r`` covers
+        offsets ``|o| <= radius - r``; columns outside the grid carry
+        ``_EDGE_COST`` so the shrinking cone never reads a real value it
+        does not have.
+        """
+
+        def bounded(offset: int, value):
+            if offset < 0:
+                return b.select(tid >= -offset, value, _EDGE_COST)
+            if offset > 0:
+                return b.select(tid < (cols - offset), value, _EDGE_COST)
+            return value
+
+        def wall_at(row: int, offset: int):
+            if offset == 0:
+                index = tid
+            else:
+                index = b.minimum(b.maximum(tid + offset, 0), cols - 1)
+            return b.load("wall", b.const(row * cols) + index)
+
+        level = {o: bounded(o, wall_at(0, o)) for o in range(-radius, radius + 1)}
+        lattice = [level]
+        for r in range(1, depth + 1):
+            width = radius - r
+            prev = lattice[-1]
+            level = {}
+            for o in range(-width, width + 1):
+                best = b.minimum(b.minimum(prev[o - 1], prev[o]), prev[o + 1])
+                level[o] = bounded(o, wall_at(r, o) + best)
+            lattice.append(level)
+        return lattice
+
+    # -------------------------------------------------------------- windowed
+    def build_dmt_windowed(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Window-bounded dMT variant for multi-core sharding.
+
+        The per-row ±1 exchange is bounded to windows of ``cols / 4``
+        threads.  The one thread on each side of a window boundary cannot
+        receive its neighbour's running cost (it is computed, not in
+        memory), so it recomputes that single value from the wall loads
+        via the dynamic-programming cone of :meth:`_cost_lattice` — the
+        recomputation grows with ``rows^2`` but is independent of
+        ``cols``, preserving the windowed kernel's O(1) communication
+        distance.
+        """
+        rows, cols = params["rows"], params["cols"]
+        window = self._window(cols)
+        b = KernelBuilder("pathfinder_dmt_win", cols)
+        b.global_array("wall", rows * cols)
+        b.global_array("result", cols)
+        tid = b.thread_idx_x()
+        win_pos = tid % window
+        lattice = (
+            self._cost_lattice(b, tid, cols, rows - 1, rows - 2) if rows > 1 else []
+        )
+        running = b.load("wall", tid)
+        for r in range(1, rows):
+            b.tag_value(f"cost{r - 1}", running)
+            left_elev = b.from_thread_or_const(
+                f"cost{r - 1}", -1, _EDGE_COST, window=window
+            )
+            right_elev = b.from_thread_or_const(
+                f"cost{r - 1}", +1, _EDGE_COST, window=window
+            )
+            left = b.select(win_pos.eq(0), lattice[r - 1][-1], left_elev)
+            right = b.select(win_pos.eq(window - 1), lattice[r - 1][+1], right_elev)
+            best = b.minimum(b.minimum(left, running), right)
+            step_cost = b.load("wall", b.const(r * cols) + tid)
+            running = step_cost + best
+        b.store("result", tid, running)
+        return b.finish()
+
+    def _window(self, cols: int) -> int:
+        if cols % 4 != 0 or cols < 8:
+            raise WorkloadError(
+                "pathfinder dmt_win requires cols divisible by 4 (window = cols / 4)"
+            )
+        return cols // 4
+
+    # ---------------------------------------------------------------- stream
+    def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Inter-thread-free variant: every thread recomputes its full
+        dynamic-programming cone from the wall loads (O(rows^2) loads per
+        thread instead of the per-row ±1 exchange)."""
+        rows, cols = params["rows"], params["cols"]
+        b = KernelBuilder("pathfinder_stream", cols)
+        b.global_array("wall", rows * cols)
+        b.global_array("result", cols)
+        tid = b.thread_idx_x()
+        lattice = self._cost_lattice(b, tid, cols, rows - 1, rows - 1)
+        b.store("result", tid, lattice[rows - 1][0])
         return b.finish()
 
     # -------------------------------------------------------------------- MT

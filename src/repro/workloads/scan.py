@@ -67,6 +67,28 @@ class ScanWorkload(Workload):
         b.store("prefix", tid, total)
         return b.finish()
 
+    # ---------------------------------------------------------------- stream
+    def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Inter-thread-free variant: every thread loads the whole prefix
+        itself and masks elements past its own position (O(n) loads per
+        thread — the price of removing the running-sum recurrence, which
+        is why the communicating variants exist).  The dMT recurrence
+        itself is cyclic in thread order and can never be window-bounded,
+        so this is scan's only batched-engine form."""
+        n = params["n"]
+        b = KernelBuilder("scan_stream", n)
+        b.global_array("in_data", n)
+        b.global_array("prefix", n)
+        tid = b.thread_idx_x()
+        # Every thread includes element 0; later elements are masked by
+        # the thread's position so the sum order matches the reference.
+        total = b.load("in_data", b.const(0))
+        for k in range(1, n):
+            value = b.load("in_data", b.const(k))
+            total = total + b.select(tid >= k, value, 0.0)
+        b.store("prefix", tid, total)
+        return b.finish()
+
     # -------------------------------------------------------------------- MT
     def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
         n = params["n"]

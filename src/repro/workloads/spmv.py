@@ -1,0 +1,209 @@
+"""Sparse matrix-vector multiplication (CSR, padded rows).
+
+``y = A @ x`` with ``A`` stored row-padded CSR: every row owns
+``max_nnz`` value/column slots of which the first ``row_len[r]`` are
+real.  The thread block is two-dimensional, ``(max_nnz, rows)``: thread
+``(tx, ty)`` owns slot ``tx`` of row ``ty``, computes the product
+``vals[ty][tx] * x[col_idx[ty][tx]]`` (zero for padding slots) and the
+products of each row are reduced with the same windowed doubling tree as
+the ``reduce`` workload, so every thread stores its suffix partial and
+the slot-0 thread of each row holds the row's dot product.
+
+What makes this workload different from the rest of the registry is the
+gather ``x[col_idx[...]]``: the index of one global load is itself the
+result of another global load.  The batched engines cannot prove a
+static per-thread replay order for such an access stream (the analyzer's
+RA042 diagnostic) and fall back to per-node replay — spmv exists
+precisely to keep that fallback path covered by a registry workload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.graph.dfg import DataflowGraph
+from repro.graph.opcodes import DType
+from repro.gpgpu.isa import Imm, Op
+from repro.gpgpu.program import SimtProgram, SimtProgramBuilder
+from repro.kernel.builder import KernelBuilder
+from repro.workloads.base import Workload
+
+__all__ = ["SpmvWorkload"]
+
+
+class SpmvWorkload(Workload):
+    """Row-padded CSR sparse matrix-vector product with per-row reduction."""
+
+    name = "spmv"
+    domain = "Sparse Linear Algebra"
+    kernel_name = "spmv_csr"
+    description = "Sparse matrix-vector multiplication"
+    suite = "Extension"
+
+    def default_params(self) -> dict[str, Any]:
+        return {"rows": 32, "max_nnz": 8}
+
+    def _check(self, params: Mapping[str, Any]) -> tuple[int, int, int]:
+        rows, max_nnz = params["rows"], params["max_nnz"]
+        levels = int(np.log2(max_nnz))
+        if 2 ** levels != max_nnz or max_nnz < 2:
+            raise WorkloadError("spmv requires a power-of-two max_nnz >= 2")
+        return rows, max_nnz, levels
+
+    def make_inputs(self, params, rng) -> dict[str, np.ndarray]:
+        rows, max_nnz, _ = self._check(params)
+        return {
+            "row_len": rng.integers(0, max_nnz + 1, rows),
+            "col_idx": rng.integers(0, rows, rows * max_nnz),
+            "vals": rng.uniform(-1.0, 1.0, rows * max_nnz),
+            "x": rng.uniform(-1.0, 1.0, rows),
+        }
+
+    def reference(self, params, inputs) -> dict[str, np.ndarray]:
+        rows, max_nnz, _ = self._check(params)
+        lens = np.asarray(inputs["row_len"]).astype(int)
+        cols = np.asarray(inputs["col_idx"]).astype(int).reshape(rows, max_nnz)
+        vals = np.asarray(inputs["vals"], dtype=float).reshape(rows, max_nnz)
+        x = np.asarray(inputs["x"], dtype=float)
+        mask = np.arange(max_nnz)[None, :] < lens[:, None]
+        products = np.where(mask, vals * x[cols], 0.0)
+        suffix = np.cumsum(products[:, ::-1], axis=1)[:, ::-1]
+        return {"partial": suffix.ravel()}
+
+    # --------------------------------------------------------------- helpers
+    def _product(self, b: KernelBuilder):
+        """The per-thread masked product, shared by the graph variants."""
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+        length = b.load("row_len", ty)
+        col = b.load("col_idx", tid)
+        value = b.load("vals", tid)
+        gathered = b.load("x", col)  # data-dependent index: the RA042 gather
+        return tx, ty, tid, b.select(tx < length, value * gathered, 0.0)
+
+    def _declare_arrays(self, b, rows: int, max_nnz: int) -> None:
+        b.global_array("row_len", rows, dtype=DType.I32)
+        b.global_array("col_idx", rows * max_nnz, dtype=DType.I32)
+        b.global_array("vals", rows * max_nnz)
+        b.global_array("x", rows)
+        b.global_array("partial", rows * max_nnz)
+
+    # ------------------------------------------------------------------- dMT
+    def build_dmt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        rows, max_nnz, levels = self._check(params)
+        b = KernelBuilder("spmv_dmt", (max_nnz, rows))
+        self._declare_arrays(b, rows, max_nnz)
+        _, _, tid, current = self._product(b)
+        for level in range(levels):
+            distance = 1 << level
+            b.tag_value(f"partial{level}", current)
+            other = b.from_thread_or_const(
+                f"partial{level}", (+distance, 0), 0.0, window=max_nnz
+            )
+            current = current + other
+        b.store("partial", tid, current)
+        return b.finish()
+
+    # ---------------------------------------------------------------- stream
+    def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Inter-thread-free variant: every thread gathers and sums its
+        whole row suffix itself (``max_nnz`` gather pairs per thread)."""
+        rows, max_nnz, _ = self._check(params)
+        b = KernelBuilder("spmv_stream", (max_nnz, rows))
+        self._declare_arrays(b, rows, max_nnz)
+        tx = b.thread_idx_x()
+        tid = b.thread_idx_linear()
+        length = b.load("row_len", b.thread_idx_y())
+        acc = b.const(0.0)
+        for i in range(max_nnz):
+            # tx + i < length <= max_nnz keeps the slot inside this row,
+            # so a single length test masks both padding and row overrun.
+            idx = b.minimum(tid + i, rows * max_nnz - 1)
+            col = b.load("col_idx", idx)
+            value = b.load("vals", idx)
+            gathered = b.load("x", col)
+            acc = acc + b.select((tx + i) < length, value * gathered, 0.0)
+        b.store("partial", tid, acc)
+        return b.finish()
+
+    # -------------------------------------------------------------------- MT
+    def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
+        rows, max_nnz, levels = self._check(params)
+        total = rows * max_nnz
+        b = KernelBuilder("spmv_mt", (max_nnz, rows))
+        self._declare_arrays(b, rows, max_nnz)
+        for level in range(levels):
+            b.scratch_array(f"level{level}", total)
+        tx, _, tid, current = self._product(b)
+        ack = b.scratch_store("level0", tid, current)
+        bar = b.barrier(ack)
+        for level in range(levels):
+            distance = 1 << level
+            partner_idx = b.minimum(tid + distance, total - 1)
+            partner = b.scratch_load(f"level{level}", partner_idx, order=bar)
+            addend = b.select(tx < (max_nnz - distance), partner, 0.0)
+            current = current + addend
+            if level + 1 < levels:
+                ack = b.scratch_store(f"level{level + 1}", tid, current)
+                bar = b.barrier(ack)
+        b.store("partial", tid, current)
+        return b.finish()
+
+    # ----------------------------------------------------------------- Fermi
+    def build_fermi(self, params: Mapping[str, Any]) -> SimtProgram:
+        rows, max_nnz, _ = self._check(params)
+        total = rows * max_nnz
+        b = SimtProgramBuilder("spmv_fermi", (max_nnz, rows))
+        b.global_array("row_len", rows, dtype=DType.I32)
+        b.global_array("col_idx", total, dtype=DType.I32)
+        b.global_array("vals", total)
+        b.global_array("x", rows)
+        b.global_array("partial", total)
+        b.shared_array("temp", 2 * total)
+
+        tx = b.tid_x()
+        ty = b.tid_y()
+        tid = b.tid_linear()
+        length = b.ld_global("row_len", ty)
+        col = b.ld_global("col_idx", tid)
+        value = b.ld_global("vals", tid)
+        gathered = b.ld_global("x", col)
+        real = b.setp(Op.SETP_LT, tx, length)
+        product = b.select(real, b.mul(value, gathered), Imm(0.0))
+
+        pout = b.mov(Imm(0))
+        pin = b.mov(Imm(total))
+        first_idx = b.add(pout, tid)
+        b.st_shared("temp", first_idx, product)
+        b.barrier()
+
+        d = b.mov(Imm(1))
+        b.label("spmv_loop")
+        swap = b.mov(pout)
+        b.mov(pin, dst=pout)
+        b.mov(swap, dst=pin)
+        self_idx = b.add(pin, tid)
+        own = b.ld_shared("temp", self_idx)
+        partner_pos = b.add(tid, d)
+        partner_pos = b.minimum(partner_pos, Imm(total - 1))
+        partner_idx = b.add(pin, partner_pos)
+        partner = b.ld_shared("temp", partner_idx)
+        limit = b.sub(Imm(max_nnz), d)
+        in_window = b.setp(Op.SETP_LT, tx, limit)
+        addend = b.select(in_window, partner, Imm(0.0))
+        summed = b.add(own, addend)
+        out_idx = b.add(pout, tid)
+        b.st_shared("temp", out_idx, summed)
+        b.barrier()
+        b.mul(d, Imm(2), dst=d)
+        again = b.setp(Op.SETP_LT, d, Imm(max_nnz))
+        b.branch("spmv_loop", guard=again)
+
+        result_idx = b.add(pout, tid)
+        result = b.ld_shared("temp", result_idx)
+        b.st_global("partial", tid, result)
+        return b.finish()

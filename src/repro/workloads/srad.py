@@ -117,6 +117,72 @@ class SradWorkload(Workload):
         b.store("out", tid, self._update(b, center, diffs, lam))
         return b.finish()
 
+    # -------------------------------------------------------------- windowed
+    def build_dmt_windowed(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Row-windowed dMT variant for multi-core sharding.
+
+        Same structure as hotspot's windowed kernel: the W/E exchange
+        keeps ``fromThreadOrConst`` with a window of one image row (the
+        window edges coincide with the image edges, where the in-bounds
+        selects discard the value anyway) and the N/S exchange becomes a
+        clamped re-load of the neighbour's pixel.
+        """
+        dim, lam = params["dim"], params["lam"]
+        b = KernelBuilder("srad_dmt_win", (dim, dim))
+        b.global_array("image", dim * dim)
+        b.global_array("out", dim * dim)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+        center = b.load("image", tid)
+        b.tag_value("pixel", center)
+
+        def reloaded(index, in_bounds):
+            clamped = b.minimum(b.maximum(index, 0), dim * dim - 1)
+            remote = b.load("image", clamped)
+            return b.select(in_bounds, remote - center, 0.0)
+
+        def forwarded(offset: tuple[int, int], in_bounds):
+            remote = b.from_thread_or_const("pixel", offset, 0.0, window=dim)
+            return b.select(in_bounds, remote - center, 0.0)
+
+        diffs = [
+            reloaded(tid - dim, ty > 0),
+            reloaded(tid + dim, ty < (dim - 1)),
+            forwarded((-1, 0), tx > 0),
+            forwarded((+1, 0), tx < (dim - 1)),
+        ]
+        b.store("out", tid, self._update(b, center, diffs, lam))
+        return b.finish()
+
+    # ---------------------------------------------------------------- stream
+    def build_stream(self, params: Mapping[str, Any]) -> DataflowGraph:
+        """Inter-thread-free variant: all four neighbour pixels are
+        re-loaded from global memory with clamped indices instead of being
+        received from adjacent threads."""
+        dim, lam = params["dim"], params["lam"]
+        b = KernelBuilder("srad_stream", (dim, dim))
+        b.global_array("image", dim * dim)
+        b.global_array("out", dim * dim)
+        tx = b.thread_idx_x()
+        ty = b.thread_idx_y()
+        tid = b.thread_idx_linear()
+        center = b.load("image", tid)
+
+        neighbours = {
+            "n": (tid - dim, ty > 0),
+            "s": (tid + dim, ty < (dim - 1)),
+            "w": (tid - 1, tx > 0),
+            "e": (tid + 1, tx < (dim - 1)),
+        }
+        diffs = []
+        for _, (index, in_bounds) in neighbours.items():
+            clamped = b.minimum(b.maximum(index, 0), dim * dim - 1)
+            remote = b.load("image", clamped)
+            diffs.append(b.select(in_bounds, remote - center, 0.0))
+        b.store("out", tid, self._update(b, center, diffs, lam))
+        return b.finish()
+
     # -------------------------------------------------------------------- MT
     def build_mt(self, params: Mapping[str, Any]) -> DataflowGraph:
         dim, lam = params["dim"], params["lam"]

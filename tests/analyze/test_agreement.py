@@ -25,7 +25,7 @@ from repro.sim import simulate
 from repro.sim.cycle import CycleSimulator, resolve_engine
 from repro.sim.launch import KernelLaunch
 from repro.sim.multicore import plan_shards
-from repro.workloads.registry import all_workloads
+from repro.workloads.registry import all_workloads, registry_kernel_count
 
 #: Small problem sizes so the sweep stays in the fast lane.
 SMALL_PARAMS = {
@@ -38,6 +38,53 @@ SMALL_PARAMS = {
     "hotspot": {"dim": 8},
     "pathfinder": {"cols": 32, "rows": 3},
     "srad": {"dim": 8},
+    "spmv": {"rows": 8, "max_nnz": 4},
+}
+
+#: Pinned (engine, order_stable, shardable) verdict for every registry
+#: kernel.  The engine verdicts carry RA040 (batched), RA044
+#: (window-batched) or RA041+RA045 (event-only); order_stable=False
+#: carries RA042 (data-dependent load indices force per-node replay).
+#: A change here is an architectural change and must be deliberate.
+EXPECTED_VERDICTS = {
+    ("scan", "mt"): ("event", True, False),
+    ("scan", "dmt"): ("event", True, False),
+    ("scan", "stream"): ("batched", True, True),
+    ("matrixMul", "mt"): ("event", True, False),
+    ("matrixMul", "dmt"): ("window-batched", True, False),
+    ("matrixMul", "dmt_win"): ("window-batched", True, True),
+    ("matrixMul", "stream"): ("batched", True, True),
+    ("convolution", "mt"): ("event", True, False),
+    ("convolution", "dmt"): ("window-batched", True, False),
+    ("convolution", "dmt_win"): ("window-batched", True, True),
+    ("convolution", "stream"): ("batched", True, True),
+    ("reduce", "mt"): ("event", True, False),
+    ("reduce", "dmt"): ("window-batched", True, True),
+    ("reduce", "dmt_win"): ("window-batched", True, True),
+    ("reduce", "stream"): ("batched", True, True),
+    ("lud", "mt"): ("event", True, False),
+    ("lud", "dmt"): ("window-batched", True, False),
+    ("lud", "dmt_win"): ("window-batched", True, True),
+    ("lud", "stream"): ("batched", True, True),
+    ("srad", "mt"): ("event", True, False),
+    ("srad", "dmt"): ("window-batched", True, False),
+    ("srad", "dmt_win"): ("window-batched", True, True),
+    ("srad", "stream"): ("batched", True, True),
+    ("bpnn", "mt"): ("event", True, False),
+    ("bpnn", "dmt"): ("window-batched", True, False),
+    ("bpnn", "stream"): ("batched", True, True),
+    ("hotspot", "mt"): ("event", True, False),
+    ("hotspot", "dmt"): ("window-batched", True, False),
+    ("hotspot", "dmt_win"): ("window-batched", True, True),
+    ("hotspot", "stream"): ("batched", True, True),
+    ("pathfinder", "mt"): ("event", True, False),
+    ("pathfinder", "dmt"): ("window-batched", True, False),
+    ("pathfinder", "dmt_win"): ("window-batched", True, True),
+    ("pathfinder", "stream"): ("batched", True, True),
+    ("spmv", "mt"): ("event", False, False),
+    ("spmv", "dmt"): ("window-batched", False, True),
+    ("spmv", "dmt_win"): ("window-batched", False, True),
+    ("spmv", "stream"): ("batched", False, True),
 }
 
 
@@ -60,12 +107,42 @@ def _registry_cases():
 CASES = list(_registry_cases())
 
 
+def test_case_sweep_is_the_whole_registry():
+    """The parametrized sweep below must cover every declared registry
+    kernel — the count is derived from the registry itself, never
+    hard-coded, so a new workload or variant grows the sweep (and the
+    pinned verdict table) automatically or fails loudly here."""
+    assert len(CASES) == registry_kernel_count()
+    assert {(w.name, v) for w, v, _ in (p.values for p in CASES)} == set(EXPECTED_VERDICTS)
+
+
 @pytest.mark.parametrize("workload,variant,graph", CASES)
 def test_registry_kernel_analyzes_clean(workload, variant, graph):
     """Every shipped workload x variant carries no error/warning findings."""
     result = analyze_kernel(compile_kernel(graph))
     assert result.ok, [d.format() for d in result.errors() + result.warnings()]
     assert not result.deadlock
+
+
+@pytest.mark.parametrize("workload,variant,graph", CASES)
+def test_registry_verdicts_are_pinned(workload, variant, graph):
+    """Every registry kernel's (engine, order_stable, shardable) verdict
+    matches the pinned table, and the RA04x code set follows: RA042 for
+    the order-unstable spmv gather kernels, RA041+RA045 for scan's cyclic
+    recurrence and every whole-block-barrier mt kernel."""
+    result = analyze_kernel(compile_kernel(graph))
+    engine, order_stable, shardable = EXPECTED_VERDICTS[(workload.name, variant)]
+    assert result.engine == engine
+    assert result.order_stable == order_stable
+    assert result.shard.shardable == shardable
+    codes = set(result.codes())
+    if engine != "event":
+        # RA042 marks data-dependent load indices on a batched engine —
+        # the per-node replay fallback; RA043 its order-stability cousin.
+        assert ("RA042" in codes) == (not order_stable)
+        assert ("RA043" in codes) == order_stable
+    else:
+        assert {"RA041", "RA045"} <= codes
 
 
 @pytest.mark.parametrize("workload,variant,graph", CASES)

@@ -71,9 +71,9 @@ def test_worker_error_is_captured_not_fatal(tmp_path):
     spec = CampaignSpec(
         name="mixed",
         workloads=("matrixMul", "scan"),
-        # scan has no streaming variant -> its point raises WorkloadError
-        # inside the worker process.
-        variants=("stream",),
+        # scan's cyclic recurrence has no windowed dMT form -> its point
+        # raises WorkloadError inside the worker process.
+        variants=("dmt_win",),
         params={"matrixMul": {"dim": 4}},
     )
     result = run_campaign(spec, jobs=2, cache_dir=tmp_path)
@@ -97,8 +97,8 @@ def test_rerun_errors_invalidates_cached_error_records(tmp_path):
     spec = CampaignSpec(
         name="mixed",
         workloads=("matrixMul", "scan"),
-        # scan has no streaming variant -> its point errors in the worker.
-        variants=("stream",),
+        # scan has no windowed dMT variant -> its point errors in the worker.
+        variants=("dmt_win",),
         params={"matrixMul": {"dim": 4}},
     )
     cold = run_campaign(spec, jobs=1, cache_dir=tmp_path)

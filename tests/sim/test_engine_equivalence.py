@@ -1,10 +1,20 @@
-"""Differential sweep: event vs batched engine over the whole registry.
+"""Differential engine matrix: every registry workload x variant x engine.
 
-Every inter-thread-free workload variant of the registry runs on both
-engines at two thread counts; outputs must be bit-identical and every
-operation counter equal.  The small sizes run in the fast lane; the full
-sweep at the larger thread count is marked ``slow`` (tier-1 and the CI
-``tier1`` job include it, the per-version fast test job skips it).
+Every (workload, variant) kernel of the registry is classified by the
+engines able to execute it — ``batched`` for inter-thread-free graphs,
+``window-batched`` for feed-forward communicating graphs, event-only for
+everything else — and that classification is pinned against an explicit
+expected matrix, so a structural regression in any kernel (an elevator
+losing its window, a stream variant growing a barrier) fails loudly.
+
+Every batched-capable cell then runs on both the event engine and its
+batched engine at two problem sizes; outputs must be bit-identical and
+every operation counter equal.  Event-only cells are pinned the other
+way: forcing ``engine="batched"`` must degrade to the event engine and
+record the request in ``stats.extra["requested_engine"]``.  The small
+sizes run in the fast lane; the full sweep at the larger thread count is
+marked ``slow`` (tier-1 and the CI ``tier1`` job include it, the
+per-version fast test job skips it).
 """
 
 from __future__ import annotations
@@ -13,67 +23,154 @@ import numpy as np
 import pytest
 
 from repro.compiler.pipeline import compile_kernel
-from repro.errors import WorkloadError
+from repro.graph.interthread import window_batch_problem
 from repro.sim import simulate
-from repro.workloads.registry import all_workloads
+from repro.workloads.registry import (
+    all_workloads,
+    available_variants,
+    registry_kernel_count,
+)
 
-#: Candidate dataflow variants probed per workload.
-VARIANTS = ("mt", "dmt", "dmt_win", "stream")
-
-#: Two problem sizes (= two thread counts) per stream-capable workload.
+#: Two problem sizes (= two thread counts) per registry workload.
 SMALL_PARAMS = {
+    "scan": {"n": 32},
     "matrixMul": {"dim": 6},
     "convolution": {"n": 48},
     "reduce": {"n": 64, "window": 8},
+    "lud": {"dim": 6},
+    "srad": {"dim": 6},
+    "bpnn": {"n_in": 8, "n_out": 8},
+    "hotspot": {"dim": 6},
+    "pathfinder": {"cols": 32, "rows": 4},
+    "spmv": {"rows": 8, "max_nnz": 4},
 }
 LARGE_PARAMS = {
+    "scan": {"n": 128},
     "matrixMul": {"dim": 16},
     "convolution": {"n": 512},
     "reduce": {"n": 512, "window": 32},
+    "lud": {"dim": 12},
+    "srad": {"dim": 16},
+    "bpnn": {"n_in": 16, "n_out": 16},
+    "hotspot": {"dim": 16},
+    "pathfinder": {"cols": 128, "rows": 5},
+    "spmv": {"rows": 64, "max_nnz": 8},
+}
+
+#: The full expected engine matrix, spelled out cell by cell.  "event-only"
+#: marks kernels no batched engine can execute (whole-block barriers, or
+#: scan's cyclic recurrence).  Keep this in Table 3 + variant order.
+EXPECTED_MATRIX = {
+    ("scan", "mt"): "event-only",
+    ("scan", "dmt"): "event-only",
+    ("scan", "stream"): "batched",
+    ("matrixMul", "mt"): "event-only",
+    ("matrixMul", "dmt"): "window-batched",
+    ("matrixMul", "dmt_win"): "window-batched",
+    ("matrixMul", "stream"): "batched",
+    ("convolution", "mt"): "event-only",
+    ("convolution", "dmt"): "window-batched",
+    ("convolution", "dmt_win"): "window-batched",
+    ("convolution", "stream"): "batched",
+    ("reduce", "mt"): "event-only",
+    ("reduce", "dmt"): "window-batched",
+    ("reduce", "dmt_win"): "window-batched",
+    ("reduce", "stream"): "batched",
+    ("lud", "mt"): "event-only",
+    ("lud", "dmt"): "window-batched",
+    ("lud", "dmt_win"): "window-batched",
+    ("lud", "stream"): "batched",
+    ("srad", "mt"): "event-only",
+    ("srad", "dmt"): "window-batched",
+    ("srad", "dmt_win"): "window-batched",
+    ("srad", "stream"): "batched",
+    ("bpnn", "mt"): "event-only",
+    ("bpnn", "dmt"): "window-batched",
+    ("bpnn", "stream"): "batched",
+    ("hotspot", "mt"): "event-only",
+    ("hotspot", "dmt"): "window-batched",
+    ("hotspot", "dmt_win"): "window-batched",
+    ("hotspot", "stream"): "batched",
+    ("pathfinder", "mt"): "event-only",
+    ("pathfinder", "dmt"): "window-batched",
+    ("pathfinder", "dmt_win"): "window-batched",
+    ("pathfinder", "stream"): "batched",
+    ("spmv", "mt"): "event-only",
+    ("spmv", "dmt"): "window-batched",
+    ("spmv", "dmt_win"): "window-batched",
+    ("spmv", "stream"): "batched",
 }
 
 
-def _interthread_free_cases(params_by_workload):
-    """Every (workload_name, variant, params) with an inter-thread-free graph."""
-    cases = []
+def _classify(graph) -> str:
+    """The batched engine able to run ``graph``, or "event-only"."""
+    if not graph.has_interthread():
+        return "batched"
+    if window_batch_problem(graph) is None:
+        return "window-batched"
+    return "event-only"
+
+
+def _registry_matrix(params_by_workload):
+    """(name, variant, params) -> engine class for the whole registry."""
+    matrix = {}
     for workload in all_workloads():
-        overrides = params_by_workload.get(workload.name)
-        params = workload.params_with_defaults(overrides) if overrides else None
-        try:
+        params = workload.params_with_defaults(params_by_workload[workload.name])
+        for variant in available_variants(workload):
             prepared = workload.prepare(params)
-        except WorkloadError:
-            continue
-        for variant in VARIANTS:
-            try:
-                graph = prepared.launch(variant).graph
-            except WorkloadError:
-                continue  # workload has no such variant
-            if graph.has_interthread():
-                continue
-            cases.append((workload.name, variant, prepared.params))
-    return cases
+            graph = prepared.launch(variant).graph
+            matrix[(workload.name, variant, tuple(sorted(params.items())))] = _classify(
+                graph
+            )
+    return matrix
 
 
-SMALL_CASES = _interthread_free_cases(SMALL_PARAMS)
-LARGE_CASES = _interthread_free_cases(LARGE_PARAMS)
+SMALL_MATRIX = _registry_matrix(SMALL_PARAMS)
+LARGE_MATRIX = _registry_matrix(LARGE_PARAMS)
+
+SMALL_CASES = [
+    (name, variant, dict(params), engine)
+    for (name, variant, params), engine in SMALL_MATRIX.items()
+    if engine != "event-only"
+]
+LARGE_CASES = [
+    (name, variant, dict(params), engine)
+    for (name, variant, params), engine in LARGE_MATRIX.items()
+    if engine != "event-only"
+]
+EVENT_ONLY_CASES = [
+    (name, variant, dict(params))
+    for (name, variant, params), engine in SMALL_MATRIX.items()
+    if engine == "event-only"
+]
 
 
-def test_sweep_covers_every_stream_capable_workload():
-    """The discovered sweep must include every registry workload that
-    advertises a streaming variant — if a new one appears, it needs a
-    params entry above (this test is what notices)."""
-    stream_capable = {w.name for w in all_workloads() if w.has_stream_variant()}
-    assert {name for name, _, _ in SMALL_CASES} == stream_capable
-    assert stream_capable == set(SMALL_PARAMS)
-    assert set(LARGE_PARAMS) == set(SMALL_PARAMS)
+def test_sweep_covers_the_whole_registry():
+    """Full-registry coverage: every workload declares a stream variant,
+    every workload has a params entry at both sizes, and the discovered
+    matrix pins every declared kernel cell against EXPECTED_MATRIX —
+    including the event-only cells, so scan's cyclic recurrence is
+    *asserted* event-only rather than silently skipped."""
+    names = {w.name for w in all_workloads()}
+    assert {w.name for w in all_workloads() if w.has_stream_variant()} == names
+    assert set(SMALL_PARAMS) == names
+    assert set(LARGE_PARAMS) == names
+    discovered = {(n, v): e for (n, v, _), e in SMALL_MATRIX.items()}
+    assert discovered == EXPECTED_MATRIX
+    assert {(n, v): e for (n, v, _), e in LARGE_MATRIX.items()} == EXPECTED_MATRIX
+    assert len(EXPECTED_MATRIX) == registry_kernel_count()
+    # The scan satellite pins explicitly: cyclic recurrence, event-only.
+    assert EXPECTED_MATRIX[("scan", "dmt")] == "event-only"
 
 
-def _assert_engines_equivalent(name, variant, params):
+def _assert_engines_equivalent(name, variant, params, engine):
     workload = next(w for w in all_workloads() if w.name == name)
     prepared = workload.prepare(params)
     compiled = compile_kernel(prepared.launch(variant).graph)
     event = simulate(compiled, prepared.launch(variant), engine="event")
-    batched = simulate(compiled, prepared.launch(variant), engine="batched")
+    batched = simulate(compiled, prepared.launch(variant), engine=engine)
+    assert event.engine == "event"
+    assert batched.engine == engine
     for array_name in prepared.expected:
         assert np.array_equal(event.array(array_name), batched.array(array_name)), array_name
     prepared.check_outputs({n: batched.array(n) for n in prepared.expected})
@@ -88,19 +185,39 @@ def _assert_engines_equivalent(name, variant, params):
 
 
 @pytest.mark.parametrize(
-    "name,variant,params",
+    "name,variant,params,engine",
     SMALL_CASES,
-    ids=[f"{n}-{v}-small" for n, v, _ in SMALL_CASES],
+    ids=[f"{n}-{v}-small" for n, v, _, _ in SMALL_CASES],
 )
-def test_engines_bit_identical_small(name, variant, params):
-    _assert_engines_equivalent(name, variant, params)
+def test_engines_bit_identical_small(name, variant, params, engine):
+    _assert_engines_equivalent(name, variant, params, engine)
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize(
-    "name,variant,params",
+    "name,variant,params,engine",
     LARGE_CASES,
-    ids=[f"{n}-{v}-large" for n, v, _ in LARGE_CASES],
+    ids=[f"{n}-{v}-large" for n, v, _, _ in LARGE_CASES],
 )
-def test_engines_bit_identical_large(name, variant, params):
-    _assert_engines_equivalent(name, variant, params)
+def test_engines_bit_identical_large(name, variant, params, engine):
+    _assert_engines_equivalent(name, variant, params, engine)
+
+
+@pytest.mark.parametrize(
+    "name,variant,params",
+    EVENT_ONLY_CASES,
+    ids=[f"{n}-{v}" for n, v, _ in EVENT_ONLY_CASES],
+)
+def test_event_only_cells_degrade_observably(name, variant, params):
+    """Forcing the batched engine on an event-only kernel must run the
+    event engine and record the original request next to the resolved
+    one (the forced-engine degradation satellite, pinned for scan and
+    every barrier kernel)."""
+    workload = next(w for w in all_workloads() if w.name == name)
+    prepared = workload.prepare(params)
+    compiled = compile_kernel(prepared.launch(variant).graph)
+    run = simulate(compiled, prepared.launch(variant), engine="batched")
+    assert run.engine == "event"
+    assert run.stats.extra["engine"] == "event"
+    assert run.stats.extra["requested_engine"] == "batched"
+    prepared.check_outputs({n: run.array(n) for n in prepared.expected})

@@ -109,9 +109,16 @@ def test_windowed_partial_sums_reference_properties(window, groups, raw):
 
 # Small problem sizes so the event engine stays fast per example.
 _STREAM_PARAMS = {
+    "scan": {"n": 32},
     "matrixMul": {"dim": 6},
     "convolution": {"n": 48},
     "reduce": {"n": 64, "window": 8},
+    "lud": {"dim": 6},
+    "srad": {"dim": 6},
+    "bpnn": {"n_in": 8, "n_out": 8},
+    "hotspot": {"dim": 6},
+    "pathfinder": {"cols": 32, "rows": 4},
+    "spmv": {"rows": 8, "max_nnz": 4},
 }
 _STREAM_WORKLOADS = [w for w in all_workloads() if w.has_stream_variant()]
 

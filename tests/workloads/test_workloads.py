@@ -29,6 +29,7 @@ SMALL_PARAMS = {
     "bpnn": {"n_in": 8, "n_out": 8},
     "hotspot": {"dim": 8},
     "pathfinder": {"cols": 64, "rows": 4},
+    "spmv": {"rows": 16, "max_nnz": 4},
 }
 
 WORKLOADS = workload_names()
@@ -41,7 +42,7 @@ def _prepared(name: str):
 # ------------------------------------------------------------------ registry
 def test_registry_matches_table3():
     workloads = all_workloads()
-    assert len(workloads) == 9
+    assert len(workloads) == 10
     assert set(WORKLOAD_NAMES_EXPECTED) == set(w.name for w in workloads)
 
 
@@ -55,6 +56,7 @@ WORKLOAD_NAMES_EXPECTED = [
     "bpnn",
     "hotspot",
     "pathfinder",
+    "spmv",
 ]
 
 
