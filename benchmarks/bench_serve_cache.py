@@ -1,0 +1,112 @@
+"""Serve-layer cache gate: a warm request must be >= 50x faster than cold.
+
+Boots an embedded :class:`~repro.serve.client.LocalServer` on a throwaway
+store, issues the same ``POST /v1/simulate`` request (matrixMul, dmt)
+cold and then repeatedly warm over real HTTP, and asserts:
+
+* the cold request is a ``miss`` that simulates, every warm repeat is a
+  ``hit`` that performs **zero** simulations (the service's own
+  simulation counter must not move);
+* the best warm round trip is at least ``MIN_SPEEDUP``x (50x) faster
+  than the cold one — the difference between answering from the
+  content-addressed record store and re-running the simulator.
+
+Usage::
+
+    pytest benchmarks/bench_serve_cache.py -s
+    python benchmarks/bench_serve_cache.py [--dim N] [--repeats N] [--json out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+from benchmarks.common import add_json_option, write_json
+from repro.serve.client import LocalServer
+
+#: Warm HTTP round trips are a few milliseconds; a dim=16 matrixMul
+#: simulation is a couple of seconds — orders of magnitude of headroom
+#: over this floor, while still catching a broken memo path instantly.
+MIN_SPEEDUP = 50.0
+
+
+def _measure(dim: int, repeats: int) -> dict:
+    body = {"workload": "matrixMul", "variant": "dmt", "params": {"dim": dim}}
+    store = tempfile.mkdtemp(prefix="bench-serve-")
+    try:
+        with LocalServer(store_dir=store) as server:
+            started = time.perf_counter()
+            status, cold = server.request("POST", "/v1/simulate", body)
+            cold_s = time.perf_counter() - started
+            assert status == 200 and cold["cache"] == "miss", (status, cold.get("cache"))
+            assert cold["status"] == "ok", cold
+
+            simulations = server.service.metrics.counter("serve.simulations")
+            warm_times = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                status, warm = server.request("POST", "/v1/simulate", body)
+                warm_times.append(time.perf_counter() - started)
+                assert status == 200 and warm["cache"] == "hit", (status, warm.get("cache"))
+            assert server.service.metrics.counter("serve.simulations") == simulations, (
+                "warm requests must perform zero simulations"
+            )
+            assert warm["record"] == cold["record"], "hit must return the cold run's record"
+            warm_s = min(warm_times)
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+    return {
+        "dim": dim,
+        "cycles": cold["record"]["result"]["cycles"],
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / max(warm_s, 1e-9),
+    }
+
+
+def _print_table(row: dict) -> None:
+    print(f"\nserved matrixMul dmt dim={row['dim']} ({row['cycles']} cycles):")
+    header = f"{'request':>8} {'wall [s]':>10} {'cache':>6}"
+    print(header)
+    print("-" * len(header))
+    print(f"{'cold':>8} {row['cold_s']:>10.3f} {'miss':>6}")
+    print(f"{'warm':>8} {row['warm_s']:>10.4f} {'hit':>6}")
+    print(f"warm request is {row['speedup']:.0f}x faster (gate: >= {MIN_SPEEDUP:.0f}x)")
+
+
+def test_warm_request_is_50x_faster_than_cold():
+    row = _measure(dim=16, repeats=5)
+    _print_table(row)
+    assert row["speedup"] >= MIN_SPEEDUP, (
+        f"warm/cold speedup {row['speedup']:.1f}x below the {MIN_SPEEDUP:.0f}x gate"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dim", type=int, default=16)
+    parser.add_argument("--repeats", type=int, default=5)
+    add_json_option(parser)
+    args = parser.parse_args(argv)
+    row = _measure(dim=args.dim, repeats=args.repeats)
+    _print_table(row)
+    failures = []
+    if row["speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"warm/cold speedup {row['speedup']:.1f}x below the {MIN_SPEEDUP:.0f}x gate"
+        )
+    write_json(args.json, "serve_cache", [row], failures=failures)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

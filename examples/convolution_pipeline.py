@@ -11,6 +11,12 @@ fallback constant 0.0 from ``fromThreadOrConst``.
 Run with::
 
     python examples/convolution_pipeline.py [n]
+
+Expected output: a cycles / DRAM / barrier-waits / energy table for the
+fermi, mt and dmt architectures (dmt runs barrier-free and cheapest in
+energy), the transmission-distance CDF (all traffic at |dTID| = 1), and
+a final line confirming every architecture matched the NumPy reference.
+Exit status 0.
 """
 
 from __future__ import annotations

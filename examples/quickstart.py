@@ -10,6 +10,12 @@ no barrier.
 Run with::
 
     python examples/quickstart.py
+
+Expected output: the functional interpreter verifies the prefix sum of
+256 elements, the compile report lists the mapped kernel (5 nodes, one
+elevator, no barriers), the cycle-accurate run prints cycles / memory
+accesses / energy, and a traced re-run writes ``quickstart_trace.json``
+next to a top-5 per-node cycle profile.  Exit status 0.
 """
 
 from __future__ import annotations

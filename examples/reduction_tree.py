@@ -10,6 +10,12 @@ and the compiler's cascading decisions (Sec. 4.3).
 Run with::
 
     python examples/reduction_tree.py
+
+Expected output: one table row per window size (16/32/64/128) with
+reduction levels, max transmission distance, cascaded elevator count,
+dMT cycles and energy — cascading appears once the max distance exceeds
+the 16-entry token buffer (window >= 64) — followed by a short
+explanation of the trend.  Exit status 0.
 """
 
 from __future__ import annotations

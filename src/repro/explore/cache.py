@@ -1,21 +1,31 @@
-"""Content-addressed JSONL result cache for exploration campaigns.
+"""Content-addressed JSONL record store, shared by explore and serve.
 
-Every simulated point is stored as one JSON line under the cache
+Every simulated point is stored as one JSON line under the store
 directory (default ``.explore-cache/``), keyed by the point's SHA-256
 identity (:meth:`repro.explore.spec.RunPoint.key`).  Appending one line
-per completed point makes the cache naturally resumable: a campaign
+per completed point makes the store naturally resumable: a campaign
 killed halfway leaves a valid prefix (plus at most one truncated line,
 which is skipped on load), and re-running the campaign simulates only the
 missing points.  Because keys are content-addressed, byte-identical specs
 — and different campaigns that happen to share points — hit the same
 entries.
+
+:class:`ResultCache` is deliberately consumer-agnostic: the explore
+runner appends campaign points, and :mod:`repro.serve` uses the *same*
+class (and by default the same directory) as the persistent tier of its
+simulate memoisation, so a campaign run offline pre-warms the server and
+served traffic back-fills future campaigns.  ``put`` is
+thread/multi-process safe in the append-only sense — concurrent writers
+interleave whole lines and the last appended record for a key wins on
+the next :meth:`load`.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from repro.explore.spec import CACHE_SCHEMA_VERSION
 
@@ -32,6 +42,7 @@ class ResultCache:
         self.path = self.root / "points.jsonl"
         self._records: dict[str, dict[str, Any]] = {}
         self._loaded = False
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ loading
     def load(self) -> "ResultCache":
@@ -85,24 +96,35 @@ class ResultCache:
         self._ensure_loaded()
         return self._records.keys()
 
+    def items(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Iterate ``(key, record)`` pairs of the in-memory view.
+
+        Served characterization tables aggregate over this; the snapshot
+        is taken eagerly so a concurrent ``put`` cannot invalidate the
+        iterator mid-walk.
+        """
+        self._ensure_loaded()
+        return iter(list(self._records.items()))
+
     # ------------------------------------------------------------------ writing
     def put(self, key: str, record: dict[str, Any]) -> None:
         """Persist one record (append to the JSONL, update the in-memory view)."""
         self._ensure_loaded()
-        self.root.mkdir(parents=True, exist_ok=True)
         line = json.dumps(
             {"schema": CACHE_SCHEMA_VERSION, "key": key, "record": record},
             sort_keys=True,
         )
-        # A campaign killed mid-write leaves an unterminated fragment;
-        # start a fresh line so the new record stays parseable.
-        needs_newline = False
-        if self.path.exists() and self.path.stat().st_size > 0:
-            with self.path.open("rb") as probe:
-                probe.seek(-1, 2)
-                needs_newline = probe.read(1) != b"\n"
-        with self.path.open("a", encoding="utf-8") as handle:
-            if needs_newline:
-                handle.write("\n")
-            handle.write(line + "\n")
-        self._records[key] = record
+        with self._lock:
+            self.root.mkdir(parents=True, exist_ok=True)
+            # A campaign killed mid-write leaves an unterminated fragment;
+            # start a fresh line so the new record stays parseable.
+            needs_newline = False
+            if self.path.exists() and self.path.stat().st_size > 0:
+                with self.path.open("rb") as probe:
+                    probe.seek(-1, 2)
+                    needs_newline = probe.read(1) != b"\n"
+            with self.path.open("a", encoding="utf-8") as handle:
+                if needs_newline:
+                    handle.write("\n")
+                handle.write(line + "\n")
+            self._records[key] = record

@@ -44,12 +44,15 @@ __all__ = [
     "RunPoint",
     "apply_override",
     "load_spec",
+    "resolved_base_config",
 ]
 
 #: Bump when the meaning of a cached record changes (new counter semantics,
 #: new key fields, ...); part of every point key, so a bump invalidates the
 #: whole cache without deleting files.
-CACHE_SCHEMA_VERSION = 1
+#: v2: records carry ``result["outputs_digest"]`` (SHA-256 over the output
+#: arrays), which the serve layer's bit-identity contract relies on.
+CACHE_SCHEMA_VERSION = 2
 
 
 def apply_override(config_data: dict[str, Any], path: str, value: Any) -> None:
@@ -323,9 +326,7 @@ class CampaignSpec:
 
     # ---------------------------------------------------------------- expansion
     def _resolved_base(self) -> SystemConfig:
-        data = default_system_config().to_dict()
-        _deep_merge(data, dict(self.base_config))
-        return SystemConfig.from_dict(data)
+        return resolved_base_config(self.base_config)
 
     def override_combos(self) -> list[tuple[tuple[str, Any], ...]]:
         """Every sweep combination as a sorted tuple of (path, value) pairs."""
@@ -382,6 +383,20 @@ def _deep_merge(dst: dict[str, Any], src: Mapping[str, Any]) -> None:
             _deep_merge(dst[key], value)
         else:
             dst[key] = value
+
+
+def resolved_base_config(partial: Mapping[str, Any] | None) -> SystemConfig:
+    """A partial nested config dict merged over the Table 2 defaults.
+
+    The shared canonicalization step of campaign specs (``base_config``)
+    and serve requests (``config``): both accept a sparse override tree
+    and resolve it against :func:`default_system_config` before any
+    digest is computed, so the same physical configuration always hashes
+    identically regardless of which keys the caller spelled out.
+    """
+    data = default_system_config().to_dict()
+    _deep_merge(data, dict(partial or {}))
+    return SystemConfig.from_dict(data)
 
 
 def load_spec(path: str | Path) -> CampaignSpec:

@@ -3,6 +3,7 @@
 from repro.harness.experiments import (
     RunResult,
     compare_architectures,
+    outputs_digest,
     run_suite,
     run_workload,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "figure5",
     "figure11",
     "figure12",
+    "outputs_digest",
     "run_suite",
     "run_workload",
     "table2",

@@ -10,6 +10,7 @@ wrappers around these functions.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
@@ -31,6 +32,7 @@ from repro.workloads.registry import get_workload, paper_workloads
 __all__ = [
     "GRAPH_VARIANTS",
     "RunResult",
+    "outputs_digest",
     "run_workload",
     "run_workload_record",
     "compare_architectures",
@@ -81,7 +83,9 @@ class RunResult:
         Drops the output arrays and the compiled kernel — everything a
         sweep needs to cache, compare or re-render a run survives: the
         counters (with their engine/core provenance), the energy
-        breakdown, and the parameters including the input seed.
+        breakdown, the parameters including the input seed, and a
+        deterministic :func:`outputs_digest` standing in for the dropped
+        arrays, so cached records can still prove output bit-identity.
         """
         return {
             "workload": self.workload,
@@ -93,7 +97,26 @@ class RunResult:
             "params": {k: _plain_scalar(v) for k, v in self.params.items()},
             "diagnostics": list(self.diagnostics),
             "phases": {k: float(v) for k, v in self.phases.items()},
+            "outputs_digest": outputs_digest(self.outputs),
         }
+
+
+def outputs_digest(outputs: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 over the named output arrays (name, dtype, shape, bytes).
+
+    Deterministic by the engines' bit-identical-outputs contract, so it
+    may live inside cached records: a served simulate response proves it
+    returned exactly what a direct :func:`repro.sim.simulate` call would
+    have produced by matching this digest.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(outputs):
+        array = np.ascontiguousarray(outputs[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("ascii"))
+        digest.update(str(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 def _plain_scalar(value: Any) -> Any:

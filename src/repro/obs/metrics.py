@@ -99,16 +99,41 @@ class MetricsRegistry:
             self.observe(f"timer.{name}", span.seconds)
 
     # ----------------------------------------------------------------- query
-    def snapshot(self) -> dict[str, Any]:
-        """Flat JSON-able view: ``counter.*``, ``gauge.*``, ``<hist>.*``."""
+    def counter(self, name: str) -> float:
+        """Current value of one counter (0.0 if it never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``counters[numerator] / counters[denominator]``, 0.0 when empty.
+
+        The shape every hit-ratio wants: ``ratio("serve.cache.hits",
+        "serve.requests")`` never divides by zero on a fresh registry.
+        """
+        total = self.counters.get(denominator, 0.0)
+        return self.counters.get(numerator, 0.0) / total if total else 0.0
+
+    def snapshot(self, prefix: str | None = None) -> dict[str, Any]:
+        """Flat JSON-able view: ``counter.*``, ``gauge.*``, ``<hist>.*``.
+
+        ``prefix`` restricts the view to metric names starting with it
+        (e.g. ``snapshot("serve.")`` for one subsystem's corner of a
+        shared registry).
+        """
+
+        def keep(name: str) -> bool:
+            return prefix is None or name.startswith(prefix)
+
         out: dict[str, Any] = {}
         for name, value in sorted(self.counters.items()):
-            out[f"counter.{name}"] = value
+            if keep(name):
+                out[f"counter.{name}"] = value
         for name, value in sorted(self.gauges.items()):
-            out[f"gauge.{name}"] = value
+            if keep(name):
+                out[f"gauge.{name}"] = value
         for name, hist in sorted(self.histograms.items()):
-            for stat, value in hist.as_dict().items():
-                out[f"{name}.{stat}"] = value
+            if keep(name):
+                for stat, value in hist.as_dict().items():
+                    out[f"{name}.{stat}"] = value
         return out
 
     def reset(self) -> None:

@@ -1,0 +1,244 @@
+"""The asyncio HTTP front end of the simulation service.
+
+A deliberately small HTTP/1.1 server on stdlib ``asyncio`` streams — no
+framework, no new dependency.  It parses requests, routes them to
+:class:`~repro.serve.handlers.SimulationService`, serialises the
+returned payload as JSON and keeps connections alive.  Anything slow
+happens in the service's worker pools; this layer's work per request is
+a few dict operations, so cached traffic is answered at event-loop
+speed.
+
+Routes::
+
+    POST /v1/compile                               compile + analyze (memoised)
+    POST /v1/simulate                              simulate one point (memoised)
+    POST /v1/explore                               run a campaign spec
+    GET  /v1/kernels                               kernels with cached records
+    GET  /v1/kernels/<digest>/characterization     latency/energy per config
+    GET  /v1/stats                                 counters, hit ratios, timers
+    GET  /healthz                                  liveness
+
+Every JSON response carries a ``server`` object with the request's
+wall-clock ``elapsed_s`` and, where a simulation record is involved, the
+per-phase timers of the underlying pipeline run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import time
+from http import HTTPStatus
+from typing import Any, Awaitable, Callable
+from urllib.parse import unquote, urlsplit
+
+from repro.obs.log import get_logger
+from repro.serve.canonicalize import ServeError
+from repro.serve.handlers import SimulationService
+
+__all__ = ["ReproServer", "MAX_BODY_BYTES"]
+
+log = get_logger("serve")
+
+#: Request bodies above this are refused with 413 (a campaign spec is a
+#: few KiB; anything near this limit is a mistake or an attack).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_CHARACTERIZATION = re.compile(r"^/v1/kernels/(?P<digest>[0-9a-fA-F]{64})/characterization$")
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ReproServer:
+    """One listening simulation server bound to a service instance."""
+
+    def __init__(
+        self,
+        service: SimulationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port  # updated to the bound port after start()
+        self._server: asyncio.base_events.Server | None = None
+        #: Live per-connection tasks, cancelled on close() so a graceful
+        #: shutdown never leaves kept-alive sockets dangling.
+        self._clients: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> "ReproServer":
+        self.service.start()
+        self._server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info("serving on http://%s:%d (store: %s)", self.host, self.port,
+                 self.service.store.path)
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._clients):
+            task.cancel()
+        if self._clients:
+            await asyncio.gather(*self._clients, return_exceptions=True)
+        self.service.close()
+
+    # ------------------------------------------------------------- protocol
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._clients.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._write_response(
+                        writer, exc.status, {"error": str(exc)}, keep_alive=False
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self._dispatch(method, path, body)
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                await self._write_response(writer, status, payload, keep_alive=keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError, BrokenPipeError):
+            pass  # client went away; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutting down mid-keep-alive
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+            # Deregister last: close() must be able to gather this task
+            # while it is still draining the socket.
+            if task is not None:
+                self._clients.discard(task)
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "invalid Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"request body too large (limit {MAX_BODY_BYTES} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        path = unquote(urlsplit(target).path)
+        return method.upper(), path, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        phrase = HTTPStatus(status).phrase
+        head = (
+            f"HTTP/1.1 {status} {phrase}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+
+    # -------------------------------------------------------------- routing
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        started = time.perf_counter()
+        service = self.service
+        service.metrics.inc("serve.requests")
+        try:
+            handler, needs_body = self._route(method, path)
+            if needs_body:
+                try:
+                    parsed = json.loads(body.decode("utf-8")) if body else {}
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ServeError(f"request body is not valid JSON: {exc}") from exc
+                status, payload = await handler(parsed)
+            else:
+                # Every GET handler is synchronous (pure lookups).
+                status, payload = handler()
+        except ServeError as exc:
+            service.metrics.inc("serve.errors.client")
+            status, payload = exc.status, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the server
+            log.exception("internal error handling %s %s", method, path)
+            service.metrics.inc("serve.errors.internal")
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        elapsed = time.perf_counter() - started
+        service.metrics.observe("serve.response_s", elapsed)
+        payload.setdefault("server", {})["elapsed_s"] = elapsed
+        log.info("%s %s -> %d (%.4fs)", method, path, status, elapsed)
+        return status, payload
+
+    def _route(
+        self, method: str, path: str
+    ) -> tuple[Callable[..., Any], bool]:
+        """Resolve ``(handler, needs_body)`` or raise a routing ServeError."""
+        service = self.service
+        post_routes: dict[str, Callable[[Any], Awaitable[tuple[int, dict]]]] = {
+            "/v1/compile": service.compile,
+            "/v1/simulate": service.simulate,
+            "/v1/explore": service.explore,
+        }
+        get_routes: dict[str, Callable[[], tuple[int, dict]]] = {
+            "/healthz": service.healthz,
+            "/v1/stats": service.stats,
+            "/v1/kernels": service.kernels_index,
+        }
+        match = _CHARACTERIZATION.match(path)
+        if match is not None:
+            if method != "GET":
+                raise ServeError("use GET for characterization tables", status=405)
+            digest = match.group("digest").lower()
+            return (lambda: service.characterization(digest)), False
+        if path in post_routes:
+            if method != "POST":
+                raise ServeError(f"use POST for {path}", status=405)
+            return post_routes[path], True
+        if path in get_routes:
+            if method != "GET":
+                raise ServeError(f"use GET for {path}", status=405)
+            return get_routes[path], False
+        raise ServeError(f"no such endpoint: {method} {path}", status=404)

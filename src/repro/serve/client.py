@@ -1,0 +1,130 @@
+"""Minimal client helpers: JSON requests and an embedded server harness.
+
+:func:`request_json` is a tiny stdlib HTTP client for talking to a
+running server; :class:`LocalServer` runs a whole server on a background
+thread with its own event loop — the harness the cache-correctness tests
+and the warm/cold benchmark drive real HTTP traffic through, and a
+convenient way to embed the service in a notebook or script::
+
+    from repro.serve.client import LocalServer
+
+    with LocalServer(store_dir=".explore-cache") as server:
+        status, body = server.request(
+            "POST", "/v1/simulate", {"workload": "matrixMul", "variant": "dmt"}
+        )
+        print(status, body["cache"], body["record"]["result"]["cycles"])
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.explore.cache import DEFAULT_CACHE_DIR
+from repro.serve.app import ReproServer
+from repro.serve.handlers import SimulationService
+
+__all__ = ["LocalServer", "request_json"]
+
+
+def request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict[str, Any] | None = None,
+    timeout: float = 300.0,
+) -> tuple[int, dict[str, Any]]:
+    """One HTTP request with a JSON body; returns ``(status, payload)``."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if data else {}
+        connection.request(method, path, body=data, headers=headers)
+        response = connection.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+        return response.status, payload
+    finally:
+        connection.close()
+
+
+class LocalServer:
+    """A live server on a daemon thread (context manager).
+
+    ``workers=0`` (the default here, unlike the CLI) runs simulations on
+    in-process threads — no forked pool to spin up or tear down per
+    test.  The underlying :class:`SimulationService` is exposed as
+    ``.service`` so callers can assert on its metrics and stores.
+    """
+
+    def __init__(
+        self,
+        store_dir: str | Path = DEFAULT_CACHE_DIR,
+        *,
+        workers: int = 0,
+        kernel_lru: int = 64,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = SimulationService(store_dir, workers=workers, kernel_lru=kernel_lru)
+        self.host = host
+        self.port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "LocalServer":
+        self._thread = threading.Thread(target=self._run, name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("server failed to start within 60s")
+        if self._startup_error is not None:
+            raise RuntimeError(f"server failed to start: {self._startup_error}")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        server = ReproServer(self.service, host=self.host, port=self.port)
+        try:
+            loop.run_until_complete(server.start())
+            self.port = server.port
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(server.close())
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "LocalServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- requests
+    def request(
+        self, method: str, path: str, body: dict[str, Any] | None = None, timeout: float = 300.0
+    ) -> tuple[int, dict[str, Any]]:
+        """One JSON request against this server."""
+        return request_json(self.host, self.port, method, path, body, timeout=timeout)

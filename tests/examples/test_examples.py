@@ -1,0 +1,51 @@
+"""Every example script runs to completion and prints what its docstring promises.
+
+Each example is executed as a real subprocess (``python examples/<name>.py``)
+from a temporary working directory, with small problem sizes where the
+script takes a CLI argument, and its stdout is checked against a marker
+from the "Expected output" section of its module docstring.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples"
+
+#: (script, argv, stdout markers) — argv chosen small so the whole module
+#: stays in the CI fast lane.
+CASES = [
+    ("quickstart.py", [], ["verified", "quickstart_trace.json"]),
+    ("convolution_pipeline.py", ["64"], ["dmt", "NumPy reference"]),
+    ("matmul_forwarding.py", ["8"], ["dMT-CGRA vs Fermi SM", "forwarded in-fabric"]),
+    ("reduction_tree.py", [], ["cascaded elevators", "128"]),
+]
+
+
+def test_every_example_is_covered_here():
+    on_disk = {path.name for path in EXAMPLES.glob("*.py")}
+    assert on_disk == {script for script, _, _ in CASES}
+
+
+@pytest.mark.parametrize("script,argv,markers", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_to_completion(script, argv, markers, tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *argv],
+        cwd=tmp_path,  # quickstart writes quickstart_trace.json into cwd
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for marker in markers:
+        assert marker in completed.stdout, f"{script}: {marker!r} missing from output"
+
+
+def test_every_example_docstring_states_expected_output():
+    for script, _, _ in CASES:
+        source = (EXAMPLES / script).read_text(encoding="utf-8")
+        assert "Expected output" in source.split('"""')[1], script

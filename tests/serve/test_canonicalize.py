@@ -1,0 +1,132 @@
+"""Request canonicalization: digest stability, resolution, rejection."""
+
+import pytest
+
+from repro.config.system import default_system_config
+from repro.explore.spec import CampaignSpec
+from repro.serve.canonicalize import (
+    ServeError,
+    canonical_from_point,
+    canonicalize_compile,
+    canonicalize_simulate,
+    kernel_digest,
+)
+from repro.workloads.registry import get_workload
+
+
+def test_default_params_digest_identically_to_explicit_defaults():
+    defaults = get_workload("matrixMul").params_with_defaults({})
+    implicit = canonicalize_simulate({"workload": "matrixMul", "variant": "dmt"})
+    explicit = canonicalize_simulate(
+        {"workload": "matrixMul", "variant": "dmt", "params": dict(defaults)}
+    )
+    assert implicit.key == explicit.key
+    assert implicit.kernel_digest == explicit.kernel_digest
+
+
+def test_partial_config_digests_identically_to_spelled_out_default():
+    leaf = default_system_config().to_dict()["token_buffer"]["entries"]
+    bare = canonicalize_simulate({"workload": "matrixMul", "variant": "dmt"})
+    spelled = canonicalize_simulate(
+        {
+            "workload": "matrixMul",
+            "variant": "dmt",
+            "config": {"token_buffer": {"entries": leaf}},
+        }
+    )
+    assert bare.key == spelled.key
+    assert bare.config_digest == spelled.config_digest
+
+
+def test_overrides_change_config_digest_but_not_kernel_digest():
+    base = canonicalize_simulate({"workload": "matrixMul", "variant": "dmt"})
+    tweaked = canonicalize_simulate(
+        {
+            "workload": "matrixMul",
+            "variant": "dmt",
+            "overrides": {"token_buffer.entries": 8},
+        }
+    )
+    assert base.key != tweaked.key
+    assert base.kernel_digest == tweaked.kernel_digest
+
+
+def test_engine_and_seed_are_part_of_the_key_but_not_the_kernel_digest():
+    a = canonicalize_simulate({"workload": "matrixMul", "variant": "dmt", "seed": 0})
+    b = canonicalize_simulate({"workload": "matrixMul", "variant": "dmt", "seed": 1})
+    c = canonicalize_simulate({"workload": "matrixMul", "variant": "dmt", "engine": "event"})
+    assert len({a.key, b.key, c.key}) == 3
+    assert a.kernel_digest == b.kernel_digest == c.kernel_digest
+
+
+def test_kernel_digest_helper_resolves_param_defaults():
+    defaults = get_workload("matrixMul").params_with_defaults({})
+    assert kernel_digest("matrixMul", "dmt") == kernel_digest(
+        "matrixMul", "dmt", dict(defaults)
+    )
+    assert kernel_digest("matrixMul", "dmt") != kernel_digest("matrixMul", "dmt", {"dim": 4})
+
+
+def test_canonical_from_point_matches_equivalent_http_body():
+    spec = CampaignSpec(
+        name="t",
+        workloads=("matrixMul",),
+        variants=("dmt",),
+        seeds=(3,),
+        params={"matrixMul": {"dim": 4}},
+        grid=(("token_buffer.entries", (8,)),),
+    )
+    (point,) = spec.expand()
+    via_point = canonical_from_point(point)
+    via_body = canonicalize_simulate(
+        {
+            "workload": "matrixMul",
+            "variant": "dmt",
+            "seed": 3,
+            "params": {"dim": 4},
+            "overrides": {"token_buffer.entries": 8},
+        }
+    )
+    assert via_point.key == via_body.key
+    assert via_point.kernel_digest == via_body.kernel_digest
+
+
+@pytest.mark.parametrize(
+    "body,fragment",
+    [
+        ({"variant": "dmt"}, "workload"),
+        ({"workload": "noSuchKernel", "variant": "dmt"}, "noSuchKernel"),
+        ({"workload": "matrixMul", "variant": "noSuchVariant"}, "variant"),
+        ({"workload": "matrixMul", "variant": "dmt", "engine": "warp"}, "engine"),
+        ({"workload": "matrixMul", "variant": "dmt", "bogus": 1}, "bogus"),
+        ({"workload": "matrixMul", "variant": "dmt", "params": {"dims": 4}}, "dims"),
+        (
+            {"workload": "matrixMul", "variant": "dmt", "overrides": {"token_buffer.depth": 1}},
+            "token_buffer.depth",
+        ),
+        ({"workload": "matrixMul", "variant": "dmt", "seed": "zero"}, "seed"),
+    ],
+)
+def test_bad_simulate_bodies_raise_serve_error_400(body, fragment):
+    with pytest.raises(ServeError) as excinfo:
+        canonicalize_simulate(body)
+    assert excinfo.value.status == 400
+    assert fragment in str(excinfo.value)
+
+
+def test_compile_rejects_fermi_and_simulate_only_keys():
+    with pytest.raises(ServeError) as excinfo:
+        canonicalize_compile({"workload": "matrixMul", "variant": "fermi"})
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError):
+        canonicalize_compile({"workload": "matrixMul", "variant": "dmt", "seed": 1})
+
+
+def test_compile_key_is_stable_and_config_sensitive():
+    a = canonicalize_compile({"workload": "matrixMul", "variant": "dmt"})
+    b = canonicalize_compile({"workload": "matrixMul", "variant": "dmt", "params": {"dim": 16}})
+    c = canonicalize_compile(
+        {"workload": "matrixMul", "variant": "dmt", "config": {"token_buffer": {"entries": 8}}}
+    )
+    assert a.key == b.key  # dim=16 is the default
+    assert a.key != c.key

@@ -1,0 +1,118 @@
+"""Unit tests for the serve-side cache primitives (LRU + single-flight)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.cache import KernelLRU, SingleFlight
+
+
+class TestKernelLRU:
+    def test_capacity_evicts_least_recently_used(self):
+        lru = KernelLRU(capacity=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # refresh 'a'; 'b' is now LRU
+        lru.put("c", 3)
+        assert lru.get("b") is None
+        assert lru.get("a") == 1 and lru.get("c") == 3
+        assert lru.evictions == 1
+
+    def test_stats_track_hits_and_misses(self):
+        lru = KernelLRU(capacity=4)
+        lru.put("k", "v")
+        lru.get("k")
+        lru.get("absent")
+        stats = lru.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["size"] == 1 and stats["capacity"] == 4
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            KernelLRU(capacity=0)
+
+
+class TestSingleFlight:
+    def test_concurrent_callers_share_one_execution(self):
+        async def scenario():
+            flight = SingleFlight()
+            calls = 0
+            gate = asyncio.Event()
+
+            async def factory():
+                nonlocal calls
+                calls += 1
+                await gate.wait()
+                return "result"
+
+            async def caller():
+                return await flight.run("key", factory)
+
+            tasks = [asyncio.create_task(caller()) for _ in range(5)]
+            await asyncio.sleep(0)  # let every caller reach the flight table
+            gate.set()
+            outcomes = await asyncio.gather(*tasks)
+            return calls, outcomes, flight.coalesced
+
+        calls, outcomes, coalesced = asyncio.run(scenario())
+        assert calls == 1
+        assert [value for value, _ in outcomes] == ["result"] * 5
+        assert sum(1 for _, shared in outcomes if shared) == 4
+        assert coalesced == 4
+
+    def test_exception_propagates_to_every_waiter_and_clears_flight(self):
+        async def scenario():
+            flight = SingleFlight()
+            gate = asyncio.Event()
+
+            async def failing():
+                await gate.wait()
+                raise ValueError("boom")
+
+            tasks = [
+                asyncio.create_task(flight.run("key", failing)) for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            gate.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            assert all(isinstance(r, ValueError) for r in results)
+            assert len(flight) == 0  # next caller runs fresh
+
+            async def ok():
+                return 42
+
+            return await flight.run("key", ok)
+
+        value, shared = asyncio.run(scenario())
+        assert value == 42 and shared is False
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            flight = SingleFlight()
+            calls = []
+
+            async def factory(tag):
+                calls.append(tag)
+                return tag
+
+            a, b = await asyncio.gather(
+                flight.run("a", lambda: factory("a")),
+                flight.run("b", lambda: factory("b")),
+            )
+            return calls, a, b
+
+        calls, a, b = asyncio.run(scenario())
+        assert sorted(calls) == ["a", "b"]
+        assert a == ("a", False) and b == ("b", False)
+
+
+def test_single_flight_rejects_reuse_outside_event_loop():
+    flight = SingleFlight()
+
+    async def ok():
+        return 1
+
+    with pytest.raises(RuntimeError):
+        # .run() is a coroutine; driving it without a loop must fail loudly,
+        # not silently corrupt the flight table.
+        flight.run("k", ok).send(None)

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Docs lint: every ``repro.*`` symbol in a docs code block must import.
+
+Scans the fenced code blocks of ``README.md`` and ``docs/*.md`` for
+
+* ``import repro...`` / ``from repro... import name, ...`` statements,
+* dotted references such as ``repro.sim.simulate`` or
+  ``python -m repro.serve``,
+
+and verifies each one resolves: modules import cleanly and attribute
+chains exist on the imported module.  Documentation that names a symbol
+which has been renamed or removed fails CI instead of silently rotting.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py [files...]
+
+With no arguments it checks ``README.md`` and every ``docs/*.md`` under
+the repository root.  Exit status is the number of broken references.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+_FENCE = re.compile(r"^```")
+_IMPORT = re.compile(r"^\s*import\s+(repro[\w.]*)")
+_FROM_IMPORT = re.compile(r"^\s*from\s+(repro[\w.]*)\s+import\s+([\w ,]+)")
+_DOTTED = re.compile(r"\brepro(?:\.[A-Za-z_]\w*)+")
+
+
+def code_blocks(text: str) -> list[str]:
+    """Return the contents of every fenced code block in ``text``."""
+    blocks: list[str] = []
+    current: list[str] | None = None
+    for line in text.splitlines():
+        if _FENCE.match(line):
+            if current is None:
+                current = []
+            else:
+                blocks.append("\n".join(current))
+                current = None
+            continue
+        if current is not None:
+            current.append(line)
+    return blocks
+
+
+def references(block: str) -> set[str]:
+    """Extract every checkable ``repro...`` reference from one code block."""
+    refs: set[str] = set()
+    for line in block.splitlines():
+        match = _IMPORT.match(line)
+        if match:
+            refs.add(match.group(1))
+            continue
+        match = _FROM_IMPORT.match(line)
+        if match:
+            module = match.group(1)
+            for name in match.group(2).split(","):
+                name = name.strip()
+                if name:
+                    refs.add(f"{module}.{name}")
+            continue
+        refs.update(_DOTTED.findall(line))
+    return refs
+
+
+def resolve(reference: str) -> str | None:
+    """Return an error string if ``reference`` does not resolve, else None."""
+    parts = reference.split(".")
+    module = None
+    module_name = ""
+    # Longest importable prefix wins; the rest must be an attribute chain.
+    for split in range(len(parts), 0, -1):
+        candidate = ".".join(parts[:split])
+        try:
+            module = importlib.import_module(candidate)
+            module_name = candidate
+            break
+        except ImportError:
+            continue
+        except Exception as exc:  # noqa: BLE001 - import-time crash is a finding
+            return f"importing '{candidate}' raised {type(exc).__name__}: {exc}"
+    if module is None:
+        return f"no importable prefix of '{reference}'"
+    obj = module
+    for attr in parts[len(module_name.split(".")):]:
+        try:
+            obj = getattr(obj, attr)
+        except AttributeError:
+            return f"'{module_name}' has no attribute path '{reference}'"
+    return None
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    refs: set[str] = set()
+    for block in code_blocks(text):
+        refs |= references(block)
+    label = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+    for reference in sorted(refs):
+        problem = resolve(reference)
+        if problem is not None:
+            errors.append(f"{label}: {reference}: {problem}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        paths = [Path(arg).resolve() for arg in argv]
+    else:
+        paths = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+    paths = [path for path in paths if path.exists()]
+    if not paths:
+        print("check_docs: no documentation files found", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    checked = 0
+    for path in paths:
+        file_errors = check_file(path)
+        errors.extend(file_errors)
+        checked += 1
+    for error in errors:
+        print(f"ERROR {error}", file=sys.stderr)
+    print(f"check_docs: {checked} file(s), {len(errors)} broken repro.* reference(s)")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
